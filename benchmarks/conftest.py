@@ -1,0 +1,32 @@
+"""Shared fixtures for the benchmark harness.
+
+Every paper artifact (Tables 1 and 2 plus the Section 4 summary
+statistics) has a corresponding benchmark module; ablation benches
+cover the design choices called out in ``DESIGN.md``.  Scales default
+to small-but-representative subsets so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_BENCH_SCALE`` /
+``REPRO_BENCH_FULL=1`` for larger runs.
+"""
+
+import os
+
+import pytest
+
+from repro.transform import SweepConfig
+
+
+def bench_scale(default=0.25):
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return 1.0
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def bench_register_cap(default=150):
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return None
+    return int(os.environ.get("REPRO_BENCH_MAX_REGISTERS", default))
+
+
+@pytest.fixture(scope="session")
+def sweep_config():
+    return SweepConfig(sim_cycles=8, sim_width=32, conflict_budget=300)

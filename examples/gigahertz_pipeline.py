@@ -1,0 +1,64 @@
+"""A gigahertz-processor-style flow: phase abstraction then retiming.
+
+The paper's Table 2 designs are level-sensitive-latch netlists from the
+IBM Gigahertz Processor, folded to registers by phase abstraction [10]
+before diameter bounding.  This example rebuilds that end-to-end flow
+on a synthetic two-phase GP-profile design:
+
+1. generate a latch-based (master/slave, two-phase-clocked) netlist,
+2. PHASE: fold it modulo 2 (Theorem 3 doubles bounds on the way back),
+3. COM,RET,COM: the Table 2 pipeline,
+4. back-translate each target's bound through the whole chain and
+   compare against the untransformed netlist.
+
+Run:  python examples/gigahertz_pipeline.py
+"""
+
+from repro.core import TBVEngine
+from repro.diameter import StructuralAnalysis
+from repro.gen import gp
+
+
+def describe(net, label):
+    print(f"{label}: {len(net)} vertices, {len(net.inputs)} inputs, "
+          f"{net.num_registers()} registers, {len(net.latches)} latches, "
+          f"{len(net.targets)} targets")
+
+
+def main():
+    net = gp.generate_latched("L_FLUSHN", scale=0.1)
+    describe(net, "latched GP design")
+
+    engine = TBVEngine("PHASE,COM,RET,COM")
+    result = engine.run(net)
+    describe(result.netlist, "after PHASE,COM,RET,COM")
+
+    print("\ntransformation chain:")
+    for step in result.chain.steps:
+        extra = ""
+        if step.factor > 1:
+            extra = f" (fold factor c = {step.factor}: Theorem 3)"
+        if step.lags:
+            lags = sorted(set(step.lags.values()))
+            extra = f" (target lags {lags}: Theorem 2)"
+        print(f"  {step.name:<6} {step.kind.value}{extra}")
+
+    print("\nper-target results:")
+    for report in result.reports:
+        if report.status == "proven":
+            print(f"  target {report.name or report.target}: PROVEN "
+                  f"unreachable by the transformations alone")
+        else:
+            print(f"  target {report.name or report.target}: "
+                  f"d̂(t') = {report.transformed_bound} on the folded "
+                  f"netlist -> d̂(t) = {report.bound} on the original")
+
+    # Contrast: bounding the latch-based netlist directly.
+    analysis = StructuralAnalysis(net)
+    print("\ndirect bounds on the latch netlist (no transformation):")
+    for t in net.targets:
+        print(f"  target {net.gate(t).name or t}: {analysis.bound(t)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: complete a bounded proof with a transformed diameter bound.
+
+Builds a small design whose target is unreachable, but not provably so
+by simple induction: a mod-6 counter is observed through a 3-stage
+pipeline, and the target asserts that the observed value is 7 — a state
+the wrap-around never reaches.  Plain BMC can only ever say "no hit so
+far".  The paper's flow — transform, bound the diameter on the reduced
+netlist, back-translate via Theorems 1-2, and run BMC to exactly that
+depth — yields a full proof.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import TBVEngine
+from repro.diameter import structural_diameter_bound
+from repro.netlist import NetlistBuilder
+from repro.unroll import bmc
+
+
+def build_design():
+    """input -> 3-stage pipeline -> enable of a mod-6 counter, with the
+    target asserting the unreachable counter value 7."""
+    b = NetlistBuilder("quickstart")
+    enable = b.input("enable")
+    for k in range(3):
+        enable = b.register(enable, name=f"p{k}")
+    counter = b.registers(3, prefix="c")
+    wrap = b.word_eq(counter, b.word_const(5, 3))
+    bumped = b.word_mux(wrap, b.word_const(0, 3), b.increment(counter))
+    b.connect_word(counter, b.word_mux(enable, bumped, counter))
+    t = b.buf(b.word_eq(counter, b.word_const(7, 3)), name="saw_seven")
+    b.net.add_target(t)
+    return b.net
+
+
+def main():
+    net = build_design()
+    target = net.targets[0]
+    print(f"design: {net}")
+
+    # 1. The direct structural bound (CAV'02 technique) on the raw
+    #    netlist: every register is acyclic, so the bound is small.
+    direct = structural_diameter_bound(net, target)
+    print(f"structural diameter bound, untransformed: {direct}")
+
+    # 2. The paper's flow: COM (redundancy removal) merges the two
+    #    identical pipelines; RET (normalized retiming) absorbs the
+    #    remaining registers into the target's lag; the bound on the
+    #    final (combinational!) netlist back-translates by Theorems
+    #    1 and 2.
+    engine = TBVEngine("COM,RET,COM")
+    result = engine.run(net)
+    report = result.reports[0]
+    print(f"after COM,RET,COM: {result.netlist}")
+    print(f"  transformed bound d̂(t') = {report.transformed_bound}")
+    print(f"  back-translated bound d̂(t) = {report.bound} "
+          f"(status: {report.status})")
+
+    # 3. Completeness: a clean BMC window of that depth is a proof.
+    if report.status == "proven":
+        print("target discharged by the transformations alone")
+        return
+    check = bmc(net, target, max_depth=100, complete_bound=report.bound)
+    print(f"BMC to depth {report.bound}: {check.status}")
+    assert check.status == "proven"
+    print("=> AG(!saw_seven) holds — a complete proof from a "
+          "bounded check.")
+
+
+if __name__ == "__main__":
+    main()

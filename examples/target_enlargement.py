@@ -1,0 +1,55 @@
+"""Target enlargement (Section 3.4) on a counter-guarded target.
+
+A 4-bit counter target ``counter == 11`` is first hittable at time 11.
+A k-step enlargement replaces it with the characteristic function of
+the states exactly k steps from a hit (computed by BDD preimages with
+inductive simplification), which is hit k steps earlier — and by
+Theorem 4 a diameter bound d(t') for the enlarged target certifies the
+original target hittable within d(t') + k steps, if at all.
+
+Run:  python examples/target_enlargement.py
+"""
+
+from repro.diameter import first_hit_time, structural_diameter_bound
+from repro.netlist import NetlistBuilder
+from repro.transform import enlarge_target
+from repro.unroll import bmc
+
+
+def build_counter_target(width=4, value=11):
+    b = NetlistBuilder("enlarge-demo")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.word_eq(regs, b.word_const(value, width)),
+              name=f"count_eq_{value}")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def main():
+    net, target = build_counter_target()
+    hit = first_hit_time(net, target)
+    print(f"original target first hittable at time {hit}")
+
+    for k in (1, 2, 4):
+        result = enlarge_target(net, target, k=k)
+        enlarged = result.step.target_map[target]
+        hit_k = first_hit_time(result.netlist, enlarged)
+        bound = structural_diameter_bound(result.netlist, enlarged)
+        window = bound + result.step.depth
+        print(f"k = {k}: enlarged target hit at {hit_k} "
+              f"(shallower by {hit - hit_k}); "
+              f"Theorem 4 window = d̂(t') + k = {bound} + {k} = {window}")
+        assert hit <= window, "Theorem 4 violated!"
+
+        # Discharge the enlarged target with BMC: any hit of t' plus
+        # the k-step suffix witnesses the original target.
+        check = bmc(result.netlist, enlarged, max_depth=hit_k + 1)
+        print(f"       BMC finds the enlarged hit at depth "
+              f"{check.counterexample.depth}")
+
+    print("\nTheorem 4 held for every enlargement depth.")
+
+
+if __name__ == "__main__":
+    main()

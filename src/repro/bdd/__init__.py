@@ -1,0 +1,6 @@
+"""ROBDD package and symbolic netlist views."""
+
+from .bdd import BDD, BDDNode
+from .netlist_bdd import SymbolicNetlist
+
+__all__ = ["BDD", "BDDNode", "SymbolicNetlist"]

@@ -1,0 +1,57 @@
+"""The paper's contribution: provenance records, Theorems 1-4, TBV engine."""
+
+from .record import StepKind, TransformChain, TransformResult, TransformStep
+from .theory import (
+    UnsoundTransformError,
+    back_translate,
+    back_translate_step,
+    chain_is_sound,
+    theorem1_trace_equivalent,
+    theorem2_retiming,
+    theorem3_state_folding,
+    theorem4_target_enlargement,
+)
+from .prove import FALSIFIED, ProofResult, UNKNOWN, prove
+from .portfolio import (
+    DEFAULT_STRATEGIES,
+    PortfolioResult,
+    StrategyOutcome,
+    compare_strategies,
+)
+from .engine import (
+    BOUNDED,
+    EngineResult,
+    PROVEN,
+    TBVEngine,
+    TRIVIAL_HIT,
+    TargetReport,
+)
+
+__all__ = [
+    "BOUNDED",
+    "DEFAULT_STRATEGIES",
+    "FALSIFIED",
+    "PortfolioResult",
+    "ProofResult",
+    "UNKNOWN",
+    "prove",
+    "StrategyOutcome",
+    "compare_strategies",
+    "EngineResult",
+    "PROVEN",
+    "StepKind",
+    "TBVEngine",
+    "TRIVIAL_HIT",
+    "TargetReport",
+    "TransformChain",
+    "TransformResult",
+    "TransformStep",
+    "UnsoundTransformError",
+    "back_translate",
+    "back_translate_step",
+    "chain_is_sound",
+    "theorem1_trace_equivalent",
+    "theorem2_retiming",
+    "theorem3_state_folding",
+    "theorem4_target_enlargement",
+]

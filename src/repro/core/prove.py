@@ -1,0 +1,134 @@
+"""A top-level verification manager: ``prove(net, target)``.
+
+Orchestrates everything the library implements into the decision
+procedure the paper motivates: try transformation-based diameter
+bounds first (a small bound turns BMC into a full decision procedure);
+quickly search for shallow counterexamples; fall back to k-induction
+and localization refinement when bounds stay impractical.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..netlist import Netlist
+from ..transform.localize_cegar import localization_refinement
+from ..unroll import Counterexample, FALSIFIED as BMCFALSIFIED, \
+    PROVEN as BMC_PROVEN, bmc, k_induction
+from .portfolio import DEFAULT_STRATEGIES, compare_strategies
+
+#: Final verdicts.
+PROVEN = "proven"
+FALSIFIED = "falsified"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class ProofResult:
+    """Outcome of :func:`prove` for a single target."""
+
+    status: str
+    method: str
+    target: int
+    bound: Optional[int] = None
+    strategy: Optional[str] = None
+    counterexample: Optional[Counterexample] = None
+    seconds: float = 0.0
+    log: List[str] = field(default_factory=list)
+
+
+def prove(
+    net: Netlist,
+    target: Optional[int] = None,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    max_complete_depth: int = 64,
+    quick_bmc_depth: int = 10,
+    induction_k: int = 8,
+    sweep_config=None,
+    refine_gc_limit: int = 6,
+) -> ProofResult:
+    """Decide ``AG(!target)`` with the full engine stack.
+
+    1. run the strategy portfolio; keep the best back-translated bound;
+    2. if the bound fits ``max_complete_depth``, discharge completely
+       with BMC (Theorem 1-4 soundness makes this a decision);
+    3. otherwise search for shallow counterexamples, then attempt
+       k-induction, then localization refinement;
+    4. report ``unknown`` with the best bound when everything passes.
+    """
+    if target is None:
+        if not net.targets:
+            raise ValueError("netlist has no targets")
+        target = net.targets[0]
+    start = time.perf_counter()
+    log: List[str] = []
+
+    scoped = net.copy()
+    scoped.targets = [target]
+    portfolio = compare_strategies(scoped, strategies=strategies,
+                                   sweep_config=sweep_config,
+                                   refine_gc_limit=refine_gc_limit)
+    bound, strategy = portfolio.best(target)
+    log.append(f"portfolio best bound: {bound} via "
+               f"{strategy or '(none)'}")
+    if bound == 0:
+        return ProofResult(PROVEN, "transformation", target, bound=0,
+                           strategy=strategy, log=log,
+                           seconds=time.perf_counter() - start)
+    if bound is not None and bound <= max_complete_depth:
+        check = bmc(net, target, max_depth=bound, complete_bound=bound)
+        log.append(f"complete BMC to {bound}: {check.status}")
+        if check.status == BMC_PROVEN:
+            return ProofResult(PROVEN, "complete-bmc", target,
+                               bound=bound, strategy=strategy, log=log,
+                               seconds=time.perf_counter() - start)
+        if check.status == BMCFALSIFIED:
+            return ProofResult(FALSIFIED, "complete-bmc", target,
+                               bound=bound, strategy=strategy,
+                               counterexample=check.counterexample,
+                               log=log,
+                               seconds=time.perf_counter() - start)
+
+    quick = bmc(net, target, max_depth=quick_bmc_depth)
+    log.append(f"quick BMC to {quick_bmc_depth}: {quick.status}")
+    if quick.status == BMCFALSIFIED:
+        return ProofResult(FALSIFIED, "bmc", target, bound=bound,
+                           counterexample=quick.counterexample, log=log,
+                           seconds=time.perf_counter() - start)
+
+    induct = k_induction(net, target, max_k=induction_k)
+    log.append(f"k-induction to k={induction_k}: {induct.status}")
+    if induct.status == BMC_PROVEN:
+        return ProofResult(PROVEN, "k-induction", target, bound=bound,
+                           log=log,
+                           seconds=time.perf_counter() - start)
+    if induct.status == BMCFALSIFIED:
+        return ProofResult(FALSIFIED, "k-induction", target,
+                           bound=bound,
+                           counterexample=induct.counterexample,
+                           log=log,
+                           seconds=time.perf_counter() - start)
+
+    cegar = localization_refinement(net, target,
+                                    max_depth=max_complete_depth)
+    log.append(f"localization refinement: {cegar.status} "
+               f"({cegar.iterations} iteration(s))")
+    if cegar.status == "proven":
+        return ProofResult(PROVEN, "localization", target, bound=bound,
+                           log=log,
+                           seconds=time.perf_counter() - start)
+    if cegar.status == "falsified":
+        concrete = bmc(net, target,
+                       max_depth=(cegar.counterexample_depth or 0) + 1)
+        if concrete.status == BMCFALSIFIED:
+            return ProofResult(FALSIFIED, "localization", target,
+                               bound=bound,
+                               counterexample=concrete.counterexample,
+                               log=log,
+                               seconds=time.perf_counter() - start)
+
+    return ProofResult(UNKNOWN, "exhausted", target, bound=bound,
+                       strategy=strategy, log=log,
+                       seconds=time.perf_counter() - start)

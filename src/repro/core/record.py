@@ -1,0 +1,104 @@
+"""Transformation provenance records.
+
+Every structural transformation in :mod:`repro.transform` returns a
+:class:`TransformResult` carrying the transformed netlist, a vertex
+mapping, and a :class:`TransformStep` describing how diameter bounds
+back-translate (Section 3).  Chains of steps are accumulated in a
+:class:`TransformChain`, which the theory module walks in reverse to
+convert a bound on the final netlist into a bound on the original one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist import Netlist
+
+
+class StepKind(enum.Enum):
+    """How a transformation affects diameter bounds (paper section)."""
+
+    #: Trace-equivalence preserving (Thm 1): bound carries over as-is.
+    TRACE_EQUIVALENT = "trace-equivalent"
+    #: Normalized retiming (Thm 2): add the negated target lag.
+    RETIME = "retime"
+    #: Phase/c-slow abstraction (Thm 3): multiply by the folding factor.
+    STATE_FOLD = "state-fold"
+    #: k-step target enlargement (Thm 4): add k.
+    TARGET_ENLARGE = "target-enlarge"
+    #: Overapproximation (Sec 3.5): bounds are NOT back-translatable.
+    OVERAPPROX = "overapprox"
+    #: Underapproximation (Sec 3.6): bounds are NOT back-translatable.
+    UNDERAPPROX = "underapprox"
+
+
+@dataclass(frozen=True)
+class TransformStep:
+    """One applied transformation, with its back-translation data.
+
+    ``target_map`` maps each pre-step target vertex to its post-step
+    correspondent (``None`` when the target was discharged, e.g.
+    merged to a constant by redundancy removal).  ``lags`` (retiming)
+    holds the non-negative skew ``i = -r(t)`` per pre-step target;
+    ``factor`` (state folding) the color count ``c``; ``depth``
+    (target enlargement) the enlargement ``k``.
+    """
+
+    name: str
+    kind: StepKind
+    target_map: Dict[int, Optional[int]] = field(default_factory=dict)
+    lags: Dict[int, int] = field(default_factory=dict)
+    factor: int = 1
+    depth: int = 0
+
+    @property
+    def is_sound_for_diameter(self) -> bool:
+        """True when bounds on the result imply bounds on the source."""
+        return self.kind not in (StepKind.OVERAPPROX, StepKind.UNDERAPPROX)
+
+
+@dataclass
+class TransformResult:
+    """Outcome of a single transformation application.
+
+    ``info`` carries engine-specific metadata (e.g. retiming exposes
+    per-input lags so tests and debuggers can correlate traces).
+    """
+
+    netlist: Netlist
+    step: TransformStep
+    mapping: Dict[int, int] = field(default_factory=dict)
+    info: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class TransformChain:
+    """A sequence of transformations applied to an original netlist."""
+
+    original: Netlist
+    netlist: Netlist
+    steps: List[TransformStep] = field(default_factory=list)
+
+    @classmethod
+    def identity(cls, net: Netlist) -> "TransformChain":
+        """The empty chain over ``net``."""
+        return cls(original=net, netlist=net, steps=[])
+
+    def extend(self, result: TransformResult) -> "TransformChain":
+        """Chain a new transformation result onto this chain."""
+        return TransformChain(
+            original=self.original,
+            netlist=result.netlist,
+            steps=self.steps + [result.step],
+        )
+
+    def resolve_target(self, original_target: int) -> Optional[int]:
+        """Follow a target through every step; None if discharged."""
+        vid: Optional[int] = original_target
+        for step in self.steps:
+            if vid is None:
+                return None
+            vid = step.target_map.get(vid)
+        return vid

@@ -1,0 +1,117 @@
+"""Theorems 1-4: back-translating diameter bounds through transformations.
+
+This module is the paper's primary contribution in executable form.
+``This research enables the use of a diameter bound obtained upon a
+transformed design to yield a tight bound for the original,
+untransformed design via a constant-time calculation.``
+
+All bounds are *completeness bounds*: a value ``d`` such that a clean
+BMC check of time-steps ``0 .. d - 1`` proves the target unreachable.
+Definition 3's diameter is one such bound for trace-equivalent and
+folded vertex sets, and Theorem 4 produces such a bound directly
+("the original target t is hittable within d(t') + k time-steps, if at
+all").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .record import StepKind, TransformChain, TransformStep
+
+
+class UnsoundTransformError(Exception):
+    """Raised when a bound is back-translated through an approximate
+    (over- or under-approximating) transformation.
+
+    Sections 3.5/3.6: overapproximation may both add reachable states
+    (increasing diameter) and add transitions (decreasing it);
+    underapproximation dually.  "Therefore, diameter bounds obtained
+    upon an (over|under)approximated netlist cannot be used in general
+    to obtain a bound for the original netlist."
+    """
+
+
+def theorem1_trace_equivalent(bound: int) -> int:
+    """Theorem 1: trace-equivalent vertex sets have *equal* diameter."""
+    return bound
+
+
+def theorem2_retiming(bound: int, lag: int) -> int:
+    """Theorem 2: ``d(U) <= d(Ũ') + i`` for uniform target lag ``-i``.
+
+    ``lag`` is the non-negative skew ``i = -r(t)`` of the (normalized-
+    retimed) target: each of the ``i`` prefix time-steps discarded into
+    the retiming stump corresponds to one acyclic register composed in
+    front of the recurrence structure, incrementing diameter by at most
+    one apiece.
+    """
+    if lag < 0:
+        raise ValueError("normalized retiming lags satisfy -r(t) >= 0")
+    return bound + lag
+
+
+def theorem3_state_folding(bound: int, factor: int) -> int:
+    """Theorem 3: ``d(U) <= c * d(Ũ)`` for phase/c-slow abstraction.
+
+    Any transition of the abstracted netlist corresponds to ``c``
+    transitions of the original, so a valuation witnessed within
+    ``d(Ũ)`` folded steps occurs within ``c * d(Ũ)`` original steps.
+    """
+    if factor < 1:
+        raise ValueError("folding factor must be >= 1")
+    return factor * bound
+
+
+def theorem4_target_enlargement(bound: int, k: int) -> int:
+    """Theorem 4: a k-step enlarged target with diameter ``d(t')``
+    implies the original target is hittable within ``d(t') + k`` steps,
+    if at all."""
+    if k < 0:
+        raise ValueError("enlargement depth must be >= 0")
+    return bound + k
+
+
+def back_translate_step(bound: int, step: TransformStep,
+                        pre_step_target: Optional[int] = None) -> int:
+    """Back-translate ``bound`` through one transformation step."""
+    if step.kind is StepKind.TRACE_EQUIVALENT:
+        return theorem1_trace_equivalent(bound)
+    if step.kind is StepKind.RETIME:
+        lag = step.lags.get(pre_step_target, 0) \
+            if pre_step_target is not None else max(step.lags.values(),
+                                                    default=0)
+        return theorem2_retiming(bound, lag)
+    if step.kind is StepKind.STATE_FOLD:
+        return theorem3_state_folding(bound, step.factor)
+    if step.kind is StepKind.TARGET_ENLARGE:
+        return theorem4_target_enlargement(bound, step.depth)
+    raise UnsoundTransformError(
+        f"step {step.name!r} ({step.kind.value}) does not preserve "
+        f"diameter bounds (Sections 3.5/3.6)")
+
+
+def back_translate(chain: TransformChain, original_target: int,
+                   bound: int) -> int:
+    """Back-translate a bound on the chain's final netlist to the
+    original netlist, applying Theorems 1-4 in reverse order.
+
+    Raises :class:`UnsoundTransformError` if the chain contains an
+    over- or under-approximating step.
+    """
+    # Resolve the target's identity entering each step, front to back.
+    entering = []
+    vid: Optional[int] = original_target
+    for step in chain.steps:
+        entering.append(vid)
+        if vid is not None:
+            vid = step.target_map.get(vid)
+    out = bound
+    for step, pre_target in zip(reversed(chain.steps), reversed(entering)):
+        out = back_translate_step(out, step, pre_target)
+    return out
+
+
+def chain_is_sound(steps: Iterable[TransformStep]) -> bool:
+    """True when every step in the chain preserves diameter bounds."""
+    return all(step.is_sound_for_diameter for step in steps)

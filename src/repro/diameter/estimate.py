@@ -1,0 +1,76 @@
+"""Simulation-based diameter *estimation* (cf. [8] — no upper bound!).
+
+Section 1: "Other approaches, such as [8], have proposed the use of
+incomplete algorithms to estimate diameter, though are not guaranteed
+to yield an upper-bound."  This module implements such an estimator —
+random walks from the initial states tracking the largest BFS layer at
+which a previously-unseen state is discovered — primarily so the
+test-suite can demonstrate *why* the paper insists on sound
+overapproximations: the estimate lower-bounds the true depth and using
+it as a BMC completeness bound would be unsound.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..netlist import Netlist
+from ..sim import BitParallelSimulator
+
+
+@dataclass
+class DiameterEstimate:
+    """An *unsound* diameter estimate.
+
+    ``estimate`` is the largest simulation step at which a fresh state
+    was observed, plus one — a lower bound on ``initial_depth``, never
+    safe as a BMC completeness bound (the ``is_upper_bound`` flag
+    exists so downstream code can refuse it mechanically).
+    """
+
+    estimate: int
+    states_seen: int
+    walks: int
+
+    @property
+    def is_upper_bound(self) -> bool:
+        """Always False: estimates are unsound as completeness bounds."""
+        return False
+
+
+def estimate_diameter(
+    net: Netlist,
+    walks: int = 32,
+    steps: int = 256,
+    seed: int = 2004,
+) -> DiameterEstimate:
+    """Estimate ``initial_depth`` by random walks.
+
+    Each walk starts from a (randomly initialized) initial state and
+    applies ``steps`` random input vectors; a state never seen by any
+    walk at an earlier time raises the estimate to its discovery time
+    plus one.
+    """
+    rng = random.Random(seed)
+    sim = BitParallelSimulator(net)
+    state_vids = net.state_elements
+    earliest: Dict[Tuple[int, ...], int] = {}
+    deepest = 0
+    for _ in range(walks):
+        init_inputs = {v: rng.getrandbits(1) for v in net.inputs}
+        state = sim.initial_state(init_inputs)
+        key = tuple(state[v] for v in state_vids)
+        earliest.setdefault(key, 0)
+        for step in range(1, steps + 1):
+            inputs = {v: rng.getrandbits(1) for v in net.inputs}
+            _, state = sim.step(state, inputs)
+            key = tuple(state[v] for v in state_vids)
+            seen_at = earliest.get(key)
+            if seen_at is None or step < seen_at:
+                earliest[key] = step
+                if seen_at is None:
+                    deepest = max(deepest, step)
+    return DiameterEstimate(estimate=deepest + 1,
+                            states_seen=len(earliest), walks=walks)

@@ -1,0 +1,35 @@
+"""Regeneration of the paper's evaluation (Tables 1 and 2)."""
+
+from .runner import (
+    ColumnResult,
+    LATCHED_STRATEGY,
+    EXPERIMENT_SWEEP,
+    PIPELINES,
+    RowResult,
+    cumulative,
+    evaluate_design,
+    format_table,
+    run_table,
+)
+from .compare import (
+    PipelineComparison,
+    compare_useful_fractions,
+    format_comparison,
+    shape_holds,
+)
+
+__all__ = [
+    "ColumnResult",
+    "EXPERIMENT_SWEEP",
+    "LATCHED_STRATEGY",
+    "PIPELINES",
+    "PipelineComparison",
+    "RowResult",
+    "compare_useful_fractions",
+    "cumulative",
+    "evaluate_design",
+    "format_comparison",
+    "format_table",
+    "run_table",
+    "shape_holds",
+]

@@ -1,0 +1,88 @@
+"""Paper-vs-measured comparison utilities (feeds EXPERIMENTS.md).
+
+The reproduction target is *shape*, not digits (the workloads are
+profile-driven substitutes — see ``DESIGN.md``): the fraction of
+targets with a useful (< 50) bound must grow monotonically across
+Original -> COM -> COM,RET,COM, by roughly the margins the paper
+reports (+4 pts and +6 pts on ISCAS89; +6 pts and +5 pts on GP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..gen.profiles import DesignProfile
+from .runner import PIPELINES, RowResult, cumulative
+
+
+@dataclass
+class PipelineComparison:
+    """Aggregate |T'| fractions: paper vs measured, per pipeline."""
+
+    pipeline: str
+    paper_useful: int
+    paper_targets: int
+    measured_useful: int
+    measured_targets: int
+
+    @property
+    def paper_fraction(self) -> float:
+        """The paper's useful-target fraction."""
+        return self.paper_useful / max(1, self.paper_targets)
+
+    @property
+    def measured_fraction(self) -> float:
+        """Our measured useful-target fraction."""
+        return self.measured_useful / max(1, self.measured_targets)
+
+
+def compare_useful_fractions(
+    rows: Sequence[RowResult],
+    profiles: Sequence[DesignProfile],
+) -> List[PipelineComparison]:
+    """Compare measured Σ|T'| fractions against the paper's trios."""
+    by_name: Dict[str, DesignProfile] = {p.name: p for p in profiles}
+    sigma = cumulative(rows)
+    out = []
+    for i, pipeline in enumerate(PIPELINES):
+        paper_useful = 0
+        paper_targets = 0
+        for row in rows:
+            profile = by_name[row.name]
+            paper_useful += profile.useful_trio[i]
+            paper_targets += profile.targets
+        col = sigma.columns[pipeline]
+        out.append(PipelineComparison(
+            pipeline=pipeline,
+            paper_useful=paper_useful,
+            paper_targets=paper_targets,
+            measured_useful=col.useful,
+            measured_targets=col.targets,
+        ))
+    return out
+
+
+def shape_holds(comparisons: Sequence[PipelineComparison],
+                monotone_slack: int = 0) -> bool:
+    """The headline claim: |T'| grows along the pipeline sequence."""
+    fractions = [c.measured_fraction for c in comparisons]
+    return all(b >= a - monotone_slack / max(1, comparisons[0]
+                                             .measured_targets)
+               for a, b in zip(fractions, fractions[1:]))
+
+
+def format_comparison(comparisons: Sequence[PipelineComparison],
+                      title: str) -> str:
+    """Human-readable paper-vs-measured summary block."""
+    lines = [title,
+             f"{'pipeline':<12}{'paper |T`|/|T|':>18}"
+             f"{'measured |T`|/|T|':>20}"]
+    for c in comparisons:
+        lines.append(
+            f"{c.pipeline:<12}"
+            f"{c.paper_useful:>8}/{c.paper_targets:<4}"
+            f"({100 * c.paper_fraction:5.1f}%)"
+            f"{c.measured_useful:>9}/{c.measured_targets:<4}"
+            f"({100 * c.measured_fraction:5.1f}%)")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""CLI: regenerate the full experimental report as a markdown artifact.
+
+Usage::
+
+    python -m repro.experiments.report [--out results.md] [--scale 0.35]
+        [--max-registers 300] [--designs-t1 ...] [--designs-t2 ...]
+
+Runs both tables, renders the rows, the Σ lines, and the paper
+comparisons into one self-contained markdown document — the mechanism
+by which ``EXPERIMENTS.md`` numbers are refreshed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import time
+from typing import List, Optional, Sequence
+
+from ..gen import gp, iscas89
+from .compare import compare_useful_fractions, format_comparison
+from .runner import RowResult, cumulative, format_table
+from .table1 import run as run_table1
+from .table2 import run as run_table2
+
+
+def _scaled_profiles(profiles, scale, cap, designs):
+    out = []
+    wanted = {d.upper() for d in designs} if designs else None
+    for p in profiles:
+        if wanted is not None and p.name.upper() not in wanted:
+            continue
+        effective = scale
+        if cap and p.registers * scale > cap:
+            effective = cap / p.registers
+        out.append(p.scaled(effective))
+    return out
+
+
+def generate_report(scale: float = 0.35,
+                    max_registers: Optional[int] = 300,
+                    designs_t1: Optional[Sequence[str]] = None,
+                    designs_t2: Optional[Sequence[str]] = None) -> str:
+    """Run both tables and render a markdown report."""
+    start = time.time()
+    lines: List[str] = [
+        "# Experimental report (generated)",
+        "",
+        f"* scale: {scale}; per-design register cap: {max_registers}",
+        f"* host: Python {platform.python_version()} on "
+        f"{platform.system()} {platform.machine()}",
+        "",
+    ]
+    rows1 = run_table1(scale=scale, designs=designs_t1,
+                       max_registers=max_registers)
+    lines.append("```")
+    lines.append(format_table(rows1, "Table 1: ISCAS89 "
+                                     "(profile-synthesized)"))
+    lines.append("```")
+    profiles1 = _scaled_profiles(iscas89.profiles(), scale,
+                                 max_registers, designs_t1)
+    lines.append("```")
+    lines.append(format_comparison(
+        compare_useful_fractions(rows1, profiles1),
+        "Paper-vs-measured |T'| fractions (Table 1)"))
+    lines.append("```")
+    lines.append("")
+
+    rows2 = run_table2(scale=scale, designs=designs_t2,
+                       max_registers=max_registers)
+    lines.append("```")
+    lines.append(format_table(rows2, "Table 2: GP (profile-synthesized,"
+                                     " phase-abstracted)"))
+    lines.append("```")
+    profiles2 = _scaled_profiles(gp.profiles(), scale, max_registers,
+                                 designs_t2)
+    lines.append("```")
+    lines.append(format_comparison(
+        compare_useful_fractions(rows2, profiles2),
+        "Paper-vs-measured |T'| fractions (Table 2)"))
+    lines.append("```")
+    lines.append("")
+    sigma1 = cumulative(rows1)
+    sigma2 = cumulative(rows2)
+    lines.append("## Headline shape")
+    lines.append("")
+    for label, sigma, paper in (
+            ("ISCAS89", sigma1, iscas89.TABLE1_SIGMA),
+            ("GP", sigma2, gp.TABLE2_SIGMA)):
+        frac = [sigma.columns[p].useful / max(1, sigma.columns[p].targets)
+                for p in ("original", "com", "crc")]
+        paper_frac = [paper[k]["useful"] / paper[k]["targets"]
+                      for k in ("original", "com", "crc")]
+        lines.append(
+            f"* {label}: measured "
+            f"{' → '.join(f'{x:.1%}' for x in frac)} "
+            f"(paper full-scale: "
+            f"{' → '.join(f'{x:.1%}' for x in paper_frac)})")
+    lines.append("")
+    lines.append(f"_Generated in {time.time() - start:.1f} s._")
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="output file (default: stdout)")
+    parser.add_argument("--scale", type=float, default=0.35)
+    parser.add_argument("--max-registers", type=int, default=300)
+    parser.add_argument("--designs-t1", type=str, default=None)
+    parser.add_argument("--designs-t2", type=str, default=None)
+    args = parser.parse_args(argv)
+    report = generate_report(
+        scale=args.scale,
+        max_registers=args.max_registers or None,
+        designs_t1=args.designs_t1.split(",") if args.designs_t1 else None,
+        designs_t2=args.designs_t2.split(",") if args.designs_t2 else None,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

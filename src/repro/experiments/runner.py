@@ -1,0 +1,164 @@
+"""Shared experiment harness for the Table 1 / Table 2 reproductions.
+
+For every design the paper's three columns are reproduced:
+
+* **Original Netlist** — the structural diameter bound of [7] run
+  directly on the (synthesized) design;
+* **COM** — bound on the redundancy-removed netlist, back-translated by
+  Theorem 1;
+* **COM,RET,COM** — bound after redundancy removal + min-register
+  normalized retiming, back-translated by Theorems 1 and 2.
+
+Each column reports the register classification ``R in CC; AC; MC+QC;
+GC``, the useful-target count ``|T'|`` (bound below 50), and the
+average bound over ``T'`` — exactly the quantities of Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import TBVEngine
+from ..diameter.structural import StructuralAnalysis
+from ..gen.profiles import USEFUL_THRESHOLD, DesignProfile
+from ..netlist import Netlist
+from ..transform import SweepConfig
+
+#: Sweep configuration tuned for experiment throughput (the structural
+#: bounder itself is sub-second; COM's SAT sweeping dominates).
+EXPERIMENT_SWEEP = SweepConfig(sim_cycles=8, sim_width=32,
+                               conflict_budget=300)
+
+PIPELINES = ("original", "com", "crc")
+_STRATEGY = {"original": "", "com": "COM", "crc": "COM,RET,COM"}
+
+#: The full GP flow of Table 2's preamble: the latch netlists are first
+#: folded by the phase-abstraction engine [10], then pushed through the
+#: Table pipelines (Theorem 3 contributes the factor-c on the way back).
+LATCHED_STRATEGY = {
+    "original": "PHASE",
+    "com": "PHASE,COM",
+    "crc": "PHASE,COM,RET,COM",
+}
+
+
+@dataclass
+class ColumnResult:
+    """One pipeline column for one design."""
+
+    profile: Tuple[int, int, int, int]  # (CC, AC, MC+QC, GC)
+    useful: int
+    targets: int
+    average: float
+    seconds: float = 0.0
+
+
+@dataclass
+class RowResult:
+    """One design row across the three pipeline columns."""
+
+    name: str
+    columns: Dict[str, ColumnResult] = field(default_factory=dict)
+
+
+def _profile_tuple(analysis: StructuralAnalysis) -> Tuple[int, int, int,
+                                                          int]:
+    p = analysis.register_profile()
+    return (p["CC"], p["AC"], p["MC"] + p["QC"], p["GC"])
+
+
+def evaluate_design(net: Netlist,
+                    sweep_config: Optional[SweepConfig] = None,
+                    threshold: int = USEFUL_THRESHOLD,
+                    pipelines: Sequence[str] = PIPELINES,
+                    strategy_map: Optional[Dict[str, str]] = None
+                    ) -> RowResult:
+    """Run the transformation pipelines over one netlist.
+
+    ``strategy_map`` overrides the column-to-strategy mapping (e.g.
+    :data:`LATCHED_STRATEGY` for latch-based designs needing the PHASE
+    front-end).
+    """
+    sweep_config = sweep_config or EXPERIMENT_SWEEP
+    strategies = strategy_map or _STRATEGY
+    row = RowResult(net.name)
+    for pipeline in pipelines:
+        start = time.perf_counter()
+        engine = TBVEngine(strategies[pipeline],
+                           sweep_config=sweep_config)
+        result = engine.run(net)
+        analysis = StructuralAnalysis(result.netlist)
+        useful = result.useful(threshold)
+        row.columns[pipeline] = ColumnResult(
+            profile=_profile_tuple(analysis),
+            useful=len(useful),
+            targets=len(net.targets),
+            average=result.average_bound(threshold),
+            seconds=time.perf_counter() - start,
+        )
+    return row
+
+
+def run_table(generate: Callable[..., Netlist],
+              profiles: Sequence[DesignProfile],
+              scale: float = 1.0,
+              sweep_config: Optional[SweepConfig] = None,
+              designs: Optional[Sequence[str]] = None,
+              max_registers: Optional[int] = None) -> List[RowResult]:
+    """Evaluate every profile (optionally filtered/scaled)."""
+    rows = []
+    wanted = {d.upper() for d in designs} if designs else None
+    for profile in profiles:
+        if wanted is not None and profile.name.upper() not in wanted:
+            continue
+        effective_scale = scale
+        if max_registers and profile.registers * scale > max_registers:
+            effective_scale = max_registers / profile.registers
+        net = generate(profile.name, scale=effective_scale)
+        rows.append(evaluate_design(net, sweep_config=sweep_config))
+    return rows
+
+
+def cumulative(rows: Sequence[RowResult]) -> RowResult:
+    """The paper's Σ row."""
+    sigma = RowResult("Σ")
+    for pipeline in PIPELINES:
+        profile = [0, 0, 0, 0]
+        useful = targets = 0
+        seconds = 0.0
+        weighted = 0.0
+        for row in rows:
+            col = row.columns[pipeline]
+            for i in range(4):
+                profile[i] += col.profile[i]
+            useful += col.useful
+            targets += col.targets
+            seconds += col.seconds
+            weighted += col.average * col.useful
+        sigma.columns[pipeline] = ColumnResult(
+            profile=tuple(profile), useful=useful, targets=targets,
+            average=weighted / useful if useful else 0.0,
+            seconds=seconds)
+    return sigma
+
+
+def format_table(rows: Sequence[RowResult], title: str) -> str:
+    """Render rows in the paper's table layout."""
+    header = (f"{'Design':<12}"
+              + "".join(f"| {col:^34} " for col in
+                        ("Original Netlist", "COM", "COM,RET,COM")))
+    sub = (f"{'':<12}"
+           + "".join(f"| {'CC;AC;MC+QC;GC':>20} {'T/T;avg':>13} "
+                     for _ in range(3)))
+    lines = [title, "=" * len(header), header, sub, "-" * len(header)]
+    for row in list(rows) + [cumulative(rows)]:
+        cells = [f"{row.name:<12}"]
+        for pipeline in PIPELINES:
+            col = row.columns[pipeline]
+            prof = ";".join(str(x) for x in col.profile)
+            cells.append(f"| {prof:>20} {col.useful:>4}/{col.targets:<4}"
+                         f";{col.average:>5.1f} ")
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Reproduce Table 1: diameter bounding experiments, ISCAS89 profiles.
+
+Run as a module::
+
+    python -m repro.experiments.table1 [--scale 0.25] [--designs S953,S641]
+        [--max-registers 400]
+
+``--scale`` shrinks every profile's register/target counts (the paper's
+largest designs take minutes under the pure-Python COM engine at full
+scale); ``--max-registers`` caps individual designs instead.  The shape
+comparison against the paper's Σ row is printed either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from ..gen import iscas89
+from ..transform import SweepConfig
+from .compare import compare_useful_fractions, format_comparison
+from .runner import EXPERIMENT_SWEEP, RowResult, format_table, run_table
+
+
+def run(scale: float = 1.0,
+        designs: Optional[Sequence[str]] = None,
+        max_registers: Optional[int] = None,
+        sweep_config: Optional[SweepConfig] = None) -> List[RowResult]:
+    """Evaluate the Table 1 designs; returns the per-design rows."""
+    return run_table(iscas89.generate, iscas89.profiles(), scale=scale,
+                     designs=designs, max_registers=max_registers,
+                     sweep_config=sweep_config or EXPERIMENT_SWEEP)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="profile scale factor (default 0.25)")
+    parser.add_argument("--designs", type=str, default=None,
+                        help="comma-separated design subset")
+    parser.add_argument("--max-registers", type=int, default=400,
+                        help="per-design register cap (0 = none)")
+    args = parser.parse_args(argv)
+    designs = args.designs.split(",") if args.designs else None
+    rows = run(scale=args.scale, designs=designs,
+               max_registers=args.max_registers or None)
+    print(format_table(rows, "Table 1: ISCAS89 (profile-synthesized)"))
+    print()
+    profiles = [p.scaled(min(args.scale,
+                             (args.max_registers / p.registers)
+                             if args.max_registers and p.registers else 1))
+                for p in iscas89.profiles()
+                if designs is None or p.name in {d.upper()
+                                                 for d in designs}]
+    comparisons = compare_useful_fractions(rows, profiles)
+    print(format_comparison(comparisons,
+                            "Paper-vs-measured |T'| fractions (Table 1)"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

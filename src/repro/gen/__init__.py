@@ -1,0 +1,14 @@
+"""Synthetic workload generators (profile-driven ISCAS89/GP substitutes)."""
+
+from . import blocks, gp, iscas89, protocols
+from .profiles import USEFUL_THRESHOLD, DesignProfile, synthesize
+
+__all__ = [
+    "DesignProfile",
+    "USEFUL_THRESHOLD",
+    "blocks",
+    "protocols",
+    "gp",
+    "iscas89",
+    "synthesize",
+]

@@ -1,0 +1,142 @@
+"""Table 2 profiles: IBM Gigahertz Processor (GP) netlists.
+
+The paper's Table 2 runs on *phase-abstracted* GP netlists — latch-
+based gigahertz designs already folded to registers by the phase
+abstraction engine of [10].  The proprietary netlists are substituted
+(see ``DESIGN.md``) by profile-driven synthesis at their reported
+register classifications; as in the paper the profiles are heavily
+pipeline-dominated (57% AC vs 21% for ISCAS89) with large memory
+arrays.
+
+:func:`generate_latched` additionally wraps a (smaller) profile in a
+two-phase latch construction, providing workloads for the PHASE engine
+itself — the paper applies phase abstraction before Table 2's flow.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netlist import GateType, Netlist, NetlistBuilder
+from .profiles import DesignProfile, synthesize
+
+#: name: (cc, ac, mc+qc, gc, |T|, (T'_orig, T'_com, T'_crc),
+#:        (avg_orig, avg_com, avg_crc))
+_TABLE2 = {
+    "CP_RAS": (0, 279, 66, 315, 2, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "CLB_CNTL": (0, 29, 2, 19, 2, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "CR_RAS": (0, 96, 6, 329, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "D_DASA": (0, 16, 81, 18, 2, (1, 2, 2), (35.0, 27.0, 28.0)),
+    "D_DCLA": (0, 382, 1, 754, 2, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "D_DUDD": (0, 30, 28, 71, 22, (4, 4, 7), (9.2, 10.8, 11.0)),
+    "I_IBBQN": (0, 623, 1488, 0, 15, (15, 15, 15), (4.7, 4.7, 4.7)),
+    "I_IFAR": (0, 303, 11, 99, 2, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "I_IFPF": (11, 893, 44, 598, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "L3_SNP1": (25, 529, 39, 82, 5, (0, 0, 1), (0.0, 0.0, 1.0)),
+    "L_EMQN": (5, 146, 6, 66, 1, (0, 1, 1), (0.0, 1.0, 1.0)),
+    "L_EXEC": (12, 421, 0, 102, 2, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "L_FLUSHN": (6, 198, 0, 4, 7, (7, 7, 7), (3.7, 3.7, 4.0)),
+    "L_INTRO": (14, 143, 12, 5, 30, (30, 30, 30), (3.8, 3.8, 3.6)),
+    "L_LMQ0": (28, 690, 4, 133, 16, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "L_LRU": (0, 142, 20, 75, 12, (0, 12, 12), (0.0, 15.0, 15.0)),
+    "L_PFQ0": (14, 1936, 17, 84, 67, (1, 1, 1), (1.0, 1.0, 1.0)),
+    "L_PNTRN": (3, 228, 10, 11, 31, (23, 23, 23), (2.0, 2.0, 4.0)),
+    "L_PRQN": (34, 366, 106, 265, 10, (10, 10, 10), (15.2, 15.2, 8.0)),
+    "L_SLB": (3, 135, 6, 27, 3, (2, 2, 2), (1.0, 1.0, 1.0)),
+    "L_TBWKN": (0, 202, 117, 14, 21, (0, 1, 1), (0.0, 1.0, 1.0)),
+    "M_CIU": (0, 343, 10, 424, 6, (0, 0, 6), (0.0, 0.0, 1.0)),
+    "SIDECAR4": (3, 109, 32, 455, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S_SCU1": (1, 232, 4, 136, 3, (0, 0, 2), (0.0, 0.0, 2.0)),
+    "V_CACH": (5, 94, 15, 59, 1, (0, 0, 1), (0.0, 0.0, 1.0)),
+    "V_DIR": (6, 91, 13, 68, 2, (0, 0, 2), (0.0, 0.0, 8.0)),
+    "V_SNPM": (65, 846, 134, 376, 2, (1, 2, 2), (2.0, 1.5, 1.5)),
+    "W_GAR": (0, 159, 0, 83, 7, (1, 1, 1), (1.0, 1.0, 1.0)),
+    "W_SFA": (0, 22, 0, 42, 8, (0, 0, 0), (0.0, 0.0, 0.0)),
+}
+
+#: Paper Table 2 cumulative row.
+TABLE2_SIGMA = {
+    "original": {"profile": (235, 9683, 2272, 4714), "useful": 95,
+                 "targets": 284},
+    "com": {"profile": (77, 9291, 2367, 4397), "useful": 111,
+            "targets": 284},
+    "crc": {"profile": (68, 1241, 2228, 3007), "useful": 126,
+            "targets": 284},
+}
+
+
+def profiles() -> List[DesignProfile]:
+    """All Table 2 design profiles."""
+    out = []
+    for name, row in _TABLE2.items():
+        cc, ac, mcqc, gc, targets, trio, avgs = row
+        out.append(DesignProfile(name, cc, ac, mcqc, gc, targets,
+                                 trio, avgs))
+    return out
+
+
+def profile(name: str) -> DesignProfile:
+    """Look a Table 2 profile up by design name."""
+    cc, ac, mcqc, gc, targets, trio, avgs = _TABLE2[name.upper()]
+    return DesignProfile(name.upper(), cc, ac, mcqc, gc, targets, trio,
+                         avgs)
+
+
+def generate(name: str, seed: Optional[int] = None,
+             scale: float = 1.0) -> Netlist:
+    """Synthesize the (already phase-abstracted) GP-profile netlist."""
+    return synthesize(profile(name), seed=seed, scale=scale)
+
+
+def design_names() -> List[str]:
+    """All Table 2 design names."""
+    return list(_TABLE2)
+
+
+def generate_latched(name: str, seed: Optional[int] = None,
+                     scale: float = 0.1) -> Netlist:
+    """A two-phase *latch-based* variant of a GP profile.
+
+    Synthesizes the register-based profile, then re-expresses every
+    register as a master/slave pair of level-sensitive latches on
+    two global phase clocks — the pre-phase-abstraction form of a
+    gigahertz design.  ``phase_abstract`` folds it back (factor 2).
+    """
+    net = synthesize(profile(name), seed=seed, scale=scale)
+    b = NetlistBuilder(f"{name}-latched")
+    clk1 = b.input("clk1")
+    clk2 = b.input("clk2")
+    mapping = {}
+    # First pass: allocate inputs and latch pairs for registers.
+    for vid, gate in net.gates():
+        if gate.type is GateType.INPUT:
+            mapping[vid] = b.input(gate.name)
+        elif gate.type is GateType.REGISTER:
+            master = b.latch(b.const0, clk1,
+                             name=f"{gate.name or vid}_m")
+            slave = b.latch(master, clk2, name=f"{gate.name or vid}_s")
+            mapping[vid] = slave
+    # Second pass: combinational logic in topological order.
+    from ..netlist import topological_order
+
+    for vid in topological_order(net):
+        gate = net.gate(vid)
+        if vid in mapping or gate.is_state:
+            continue
+        if gate.type is GateType.CONST0:
+            mapping[vid] = b.const0
+            continue
+        fanins = tuple(mapping[f] for f in gate.fanins)
+        mapping[vid] = b.net.add_gate(gate.type, fanins)
+    # Third pass: wire master latch data edges to next-state cones.
+    for vid, gate in net.gates():
+        if gate.type is GateType.REGISTER:
+            slave = mapping[vid]
+            master = b.net.gate(slave).fanins[0]
+            nxt = mapping[gate.fanins[0]]
+            b.net.set_fanins(master, (nxt, clk1))
+    for t in net.targets:
+        b.net.add_target(mapping[t])
+    for o in net.outputs:
+        b.net.add_output(mapping[o])
+    return b.net

@@ -1,0 +1,104 @@
+"""Table 1 profiles: the ISCAS89 benchmark suite.
+
+Each entry transcribes one row of the paper's Table 1 ("Diameter
+bounding experiments for ISCAS89 benchmarks"): the original-netlist
+register classification ``(CC, AC, MC+QC, GC)``, the target count
+``|T|``, the useful-target counts ``|T'|`` under the three
+transformation pipelines (Original / COM / COM,RET,COM), and the
+reported average bounds.  :func:`generate` synthesizes a netlist per
+profile via :mod:`repro.gen.profiles` (see the substitution notes in
+``DESIGN.md``); the real ``s27`` netlist is available separately via
+:func:`repro.netlist.s27`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..netlist import Netlist
+from .profiles import DesignProfile, synthesize
+
+#: name: (cc, ac, mc+qc, gc, |T|, (T'_orig, T'_com, T'_crc),
+#:        (avg_orig, avg_com, avg_crc))
+_TABLE1 = {
+    "PROLOG": (0, 107, 1, 28, 73, (14, 16, 24), (8.9, 11.9, 21.0)),
+    "S1196": (0, 18, 0, 0, 14, (14, 14, 14), (3.3, 3.3, 4.3)),
+    "S1238": (0, 18, 0, 0, 14, (14, 14, 14), (3.3, 3.3, 4.3)),
+    "S1269": (0, 9, 17, 11, 10, (2, 2, 2), (10.0, 10.0, 10.0)),
+    "S13207_1": (0, 314, 128, 196, 152, (49, 49, 79), (2.0, 2.1, 6.4)),
+    "S1423": (0, 3, 16, 55, 5, (1, 1, 1), (1.0, 1.0, 2.0)),
+    "S1488": (0, 0, 0, 6, 19, (19, 19, 19), (33.0, 33.0, 33.0)),
+    "S1494": (0, 0, 0, 6, 19, (19, 19, 19), (33.0, 33.0, 33.0)),
+    "S1512": (0, 0, 1, 56, 21, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S15850_1": (0, 99, 124, 311, 150, (115, 115, 115), (2.7, 2.7, 4.7)),
+    "S208_1": (0, 0, 0, 8, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S27": (0, 1, 2, 0, 1, (1, 1, 1), (4.0, 4.0, 4.0)),
+    "S298": (0, 0, 1, 13, 6, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S3271": (0, 6, 0, 110, 14, (1, 1, 1), (7.0, 7.0, 7.0)),
+    "S3330": (0, 103, 1, 28, 73, (16, 16, 33), (11.9, 11.9, 25.3)),
+    "S3384": (0, 111, 0, 72, 26, (6, 6, 6), (16.5, 16.5, 16.5)),
+    "S344": (0, 0, 4, 11, 11, (3, 3, 3), (5.0, 5.0, 5.0)),
+    "S349": (0, 0, 4, 11, 11, (3, 3, 3), (5.0, 5.0, 5.0)),
+    "S35932": (0, 0, 0, 1728, 320, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S382": (0, 6, 0, 15, 6, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S38584_1": (0, 47, 4, 1375, 304, (56, 133, 110), (1.0, 14.9, 16.7)),
+    "S386": (0, 0, 0, 6, 7, (7, 7, 7), (33.0, 33.0, 33.0)),
+    "S400": (0, 6, 0, 15, 6, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S420_1": (0, 0, 0, 16, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S444": (0, 6, 0, 15, 6, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S4863": (0, 62, 0, 42, 16, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S499": (0, 0, 0, 22, 22, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S510": (0, 0, 0, 6, 7, (7, 7, 7), (33.0, 33.0, 33.0)),
+    "S526N": (0, 0, 1, 20, 6, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S5378": (0, 115, 0, 64, 49, (4, 4, 7), (1.5, 1.5, 3.9)),
+    "S635": (0, 0, 0, 32, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S641": (0, 7, 0, 12, 24, (3, 3, 7), (1.0, 1.0, 2.0)),
+    "S6669": (0, 181, 0, 58, 55, (37, 37, 37), (3.4, 3.4, 4.0)),
+    "S713": (0, 7, 0, 12, 23, (3, 3, 7), (1.0, 1.0, 2.3)),
+    "S820": (0, 0, 0, 5, 19, (19, 19, 19), (17.0, 17.0, 17.0)),
+    "S832": (0, 0, 0, 5, 19, (19, 19, 19), (17.0, 17.0, 17.0)),
+    "S838_1": (0, 0, 0, 32, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S9234_1": (0, 45, 9, 157, 39, (22, 22, 22), (1.2, 1.2, 2.0)),
+    "S938": (0, 0, 0, 32, 1, (0, 0, 0), (0.0, 0.0, 0.0)),
+    "S953": (0, 23, 0, 6, 23, (3, 3, 23), (2.0, 2.0, 29.8)),
+    "S967": (0, 23, 0, 6, 23, (3, 3, 23), (2.0, 2.0, 29.8)),
+    "S991": (0, 0, 0, 19, 17, (17, 17, 17), (8.8, 8.8, 8.8)),
+}
+
+#: Paper Table 1 cumulative row (registers per class; |T'| / |T|).
+TABLE1_SIGMA = {
+    "original": {"profile": (0, 1317, 313, 4622), "useful": 477,
+                 "targets": 1615},
+    "com": {"profile": (1, 1503, 653, 4086), "useful": 556,
+            "targets": 1615},
+    "crc": {"profile": (0, 509, 583, 3992), "useful": 639,
+            "targets": 1615},
+}
+
+
+def profiles() -> List[DesignProfile]:
+    """All Table 1 design profiles, in the paper's (sorted) order."""
+    out = []
+    for name, row in _TABLE1.items():
+        cc, ac, mcqc, gc, targets, trio, avgs = row
+        out.append(DesignProfile(name, cc, ac, mcqc, gc, targets,
+                                 trio, avgs))
+    return out
+
+
+def profile(name: str) -> DesignProfile:
+    """Look a Table 1 profile up by design name."""
+    cc, ac, mcqc, gc, targets, trio, avgs = _TABLE1[name.upper()]
+    return DesignProfile(name.upper(), cc, ac, mcqc, gc, targets, trio,
+                         avgs)
+
+
+def generate(name: str, seed: Optional[int] = None,
+             scale: float = 1.0) -> Netlist:
+    """Synthesize the ISCAS89-profile netlist for ``name``."""
+    return synthesize(profile(name), seed=seed, scale=scale)
+
+
+def design_names() -> List[str]:
+    """All Table 1 design names."""
+    return list(_TABLE1)

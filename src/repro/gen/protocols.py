@@ -1,0 +1,154 @@
+"""Protocol-flavored workloads with *real* safety properties.
+
+The ISCAS89/GP substitutes use primary outputs as targets ("for lack
+of any more meaningful available targets", Section 4).  These designs
+carry genuine invariants instead — the kind of properties industrial
+BMC completion actually discharges — and serve the examples,
+integration tests and benchmarks as realistic end-to-end workloads:
+
+* :func:`round_robin_arbiter` — N requesters, one-hot grant rotation;
+  property: never two grants at once.
+* :func:`fifo_with_flags` — a shift-register FIFO with occupancy
+  counter; property: the empty and full flags are never both asserted.
+* :func:`credit_channel` — a credit-based flow-control endpoint pair;
+  property: the sender never sends without credit.
+
+Each constructor returns ``(netlist, property_target)`` with the
+property encoded as an ``AG(!t)`` target (``t`` = violation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..netlist import Netlist, NetlistBuilder
+
+
+def round_robin_arbiter(requesters: int = 3) -> Tuple[Netlist, int]:
+    """A one-hot rotating-priority arbiter.
+
+    A one-hot token ring marks the highest-priority requester; the
+    grant goes to the first requesting client at or after the token
+    (wrapping), and the token advances past a granted client.  The
+    violation target asserts two simultaneous grants — unreachable
+    because grants are derived from a one-hot scan chain.
+    """
+    b = NetlistBuilder(f"arbiter{requesters}")
+    reqs = [b.input(f"req{k}") for k in range(requesters)]
+    token = [b.register(None,
+                        init=b.const1 if k == 0 else b.const0,
+                        name=f"tok{k}")
+             for k in range(requesters)]
+    # Scan from the token position: carry = "no grant issued yet".
+    grants: List[int] = [b.const0] * requesters
+    # Unrolled priority scan: position k may grant if it requests and
+    # no earlier-in-rotation position already granted.
+    for start in range(requesters):
+        carry = token[start]
+        for off in range(requesters):
+            k = (start + off) % requesters
+            this_grant = b.and_(carry, reqs[k])
+            grants[k] = b.or_(grants[k], this_grant)
+            carry = b.and_(carry, b.not_(reqs[k]))
+    grants = [b.buf(g, name=f"gnt{k}") for k, g in enumerate(grants)]
+    # Token advances to just past the granted client, else holds.
+    any_grant = b.or_(*grants)
+    for k in range(requesters):
+        advanced = grants[(k - 1) % requesters]
+        b.connect(token[k], b.mux(any_grant, advanced, token[k]))
+    violations = []
+    for i in range(requesters):
+        for j in range(i + 1, requesters):
+            violations.append(b.and_(grants[i], grants[j]))
+    violation = b.buf(b.or_(*violations), name="double_grant")
+    b.net.add_target(violation)
+    for g in grants:
+        b.net.add_output(g)
+    return b.net, violation
+
+
+def fifo_with_flags(depth: int = 3, width: int = 2
+                    ) -> Tuple[Netlist, int]:
+    """A shift-register FIFO with an occupancy counter and flags.
+
+    ``push`` inserts at the head when not full; ``pop`` drops the tail
+    when not empty.  The occupancy counter tracks both.  The violation
+    target asserts ``empty AND full`` — impossible while the counter
+    stays within ``0 .. depth`` (which takes an inductive argument:
+    the counter's invariant range).
+    """
+    b = NetlistBuilder(f"fifo{depth}x{width}")
+    push = b.input("push")
+    pop = b.input("pop")
+    data = b.inputs(width, prefix="d")
+    count_bits = max(1, depth.bit_length())
+    count = b.registers(count_bits, prefix="cnt")
+    empty = b.buf(b.word_eq(count, b.word_const(0, count_bits)),
+                  name="empty")
+    full = b.buf(b.word_eq(count, b.word_const(depth, count_bits)),
+                 name="full")
+    do_push = b.and_(push, b.not_(full))
+    do_pop = b.and_(pop, b.not_(empty))
+    inc = b.increment(count)
+    dec = b.adder(count, b.word_const((1 << count_bits) - 1, count_bits))
+    moved = b.word_mux(b.and_(do_push, b.not_(do_pop)), inc,
+                       b.word_mux(b.and_(do_pop, b.not_(do_push)), dec,
+                                  count))
+    b.connect_word(count, moved)
+    # The storage: a shift chain (contents are irrelevant to the flag
+    # property, but make the design realistic).
+    stage = data
+    for s in range(depth):
+        regs = b.registers(width, prefix=f"q{s}_")
+        b.connect_word(regs,
+                       b.word_mux(do_push, stage, regs))
+        stage = regs
+    for sig in stage:
+        b.net.add_output(sig)
+    violation = b.buf(b.and_(empty, full), name="empty_and_full")
+    b.net.add_target(violation)
+    return b.net, violation
+
+
+def credit_channel(credits: int = 2) -> Tuple[Netlist, int]:
+    """A credit-based flow-control sender/receiver pair.
+
+    The sender holds a credit counter (initially ``credits``); sending
+    decrements it and a returned credit increments it.  The receiver
+    returns one credit per accepted item after one cycle of
+    processing.  The violation target asserts a send with zero
+    credits — unreachable because the counter is conserved.
+    """
+    b = NetlistBuilder(f"credit{credits}")
+    want_send = b.input("want_send")
+    count_bits = max(1, (2 * credits).bit_length())
+    counter = b.registers(count_bits, prefix="cr")
+    # Initial value: `credits`.
+    init_word = b.word_const(credits, count_bits)
+    for reg, init_bit in zip(counter, init_word):
+        gate = b.net.gate(reg)
+        b.net.set_fanins(reg, (gate.fanins[0], init_bit))
+    has_credit = b.not_(b.word_eq(counter, b.word_const(0, count_bits)))
+    send = b.buf(b.and_(want_send, has_credit), name="send")
+    # Receiver: one-cycle pipeline returning the credit.
+    in_flight = b.register(send, name="in_flight")
+    credit_back = b.buf(in_flight, name="credit_back")
+    inc = b.increment(counter)
+    dec = b.adder(counter,
+                  b.word_const((1 << count_bits) - 1, count_bits))
+    nxt = b.word_mux(b.and_(send, b.not_(credit_back)), dec,
+                     b.word_mux(b.and_(credit_back, b.not_(send)), inc,
+                                counter))
+    b.connect_word(counter, nxt)
+    # Conservation property: the credit counter can never exceed its
+    # initial budget.  Because the counter moves by at most one per
+    # cycle, overshooting must pass through ``credits + 1`` — so that
+    # single valuation is the violation target (an inductive-invariant
+    # property, not a combinational tautology).
+    violation = b.buf(
+        b.word_eq(counter, b.word_const(credits + 1, count_bits)),
+        name="credit_overflow")
+    b.net.add_target(violation)
+    b.net.add_output(send)
+    b.net.add_output(credit_back)
+    return b.net, violation

@@ -1,0 +1,175 @@
+"""AIGER (ASCII ``aag``) reader and writer.
+
+AIGER is the standard interchange format of the hardware model-checking
+community (HWMCC); supporting it makes the library's engines applicable
+to real benchmark files.  The ASCII variant is implemented::
+
+    aag M I L O A
+    <I input literals>
+    <L latch lines:  lit next [init]>
+    <O output literals>
+    <A and lines:    lhs rhs0 rhs1>
+    [i<k> name / l<k> name / o<k> name]
+    [c comment...]
+
+Literals follow AIGER conventions (variable ``v`` has literals ``2v``
+and ``2v+1``; literal 0/1 are the constants), matching the internal
+:class:`~repro.netlist.aig.AIG` encoding directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .aig import AIG, FALSE, aig_node
+from .types import NetlistError
+
+
+def parse_aiger(text: str, name: str = "aiger") -> AIG:
+    """Parse ASCII AIGER text into an :class:`AIG`."""
+    lines = [ln.rstrip("\n") for ln in text.splitlines()]
+    if not lines or not lines[0].startswith("aag"):
+        raise NetlistError("not an ASCII AIGER file (missing 'aag' header)")
+    header = lines[0].split()
+    if len(header) != 6:
+        raise NetlistError(f"malformed AIGER header: {lines[0]!r}")
+    try:
+        m, i, l, o, a = (int(x) for x in header[1:])
+    except ValueError as exc:
+        raise NetlistError(f"malformed AIGER header: {lines[0]!r}") from exc
+    body = lines[1:]
+    if len(body) < i + l + o + a:
+        raise NetlistError("truncated AIGER body")
+
+    input_lits = [int(body[k].split()[0]) for k in range(i)]
+    latch_lines = [body[i + k].split() for k in range(l)]
+    output_lits = [int(body[i + l + k].split()[0]) for k in range(o)]
+    and_lines = [body[i + l + o + k].split() for k in range(a)]
+    symbols = body[i + l + o + a:]
+
+    aig = AIG(name)
+    lit_map: Dict[int, int] = {0: FALSE}
+
+    def map_lit(aiger_lit: int) -> int:
+        base = lit_map[aiger_lit & ~1]
+        return base ^ (aiger_lit & 1)
+
+    for lit in input_lits:
+        if lit & 1 or lit == 0:
+            raise NetlistError(f"invalid input literal {lit}")
+        lit_map[lit] = aig.add_input()
+    latch_next: List[Tuple[int, int]] = []
+    for parts in latch_lines:
+        lit = int(parts[0])
+        nxt = int(parts[1])
+        init = int(parts[2]) if len(parts) > 2 else 0
+        if init not in (0, 1):
+            raise NetlistError(
+                f"unsupported latch initial value {init} (only 0/1)")
+        if lit & 1 or lit == 0:
+            raise NetlistError(f"invalid latch literal {lit}")
+        lit_map[lit] = aig.add_latch(init)
+        latch_next.append((lit, nxt))
+
+    # AND definitions may appear in any order in aag; resolve by
+    # repeated passes (the dependency graph is acyclic by construction).
+    pending = [(int(p[0]), int(p[1]), int(p[2])) for p in and_lines]
+    for lhs, _, _ in pending:
+        if lhs & 1 or lhs == 0:
+            raise NetlistError(f"invalid AND lhs literal {lhs}")
+    while pending:
+        progressed = False
+        deferred = []
+        for lhs, rhs0, rhs1 in pending:
+            if (rhs0 & ~1) in lit_map and (rhs1 & ~1) in lit_map:
+                lit_map[lhs] = aig.add_and(map_lit(rhs0), map_lit(rhs1))
+                progressed = True
+            else:
+                deferred.append((lhs, rhs0, rhs1))
+        if not progressed:
+            missing = sorted({r & ~1 for _, r0, r1 in deferred
+                              for r in (r0, r1)} - set(lit_map))
+            raise NetlistError(f"undefined AIGER literals: {missing}")
+        pending = deferred
+
+    for lit, nxt in latch_next:
+        if (nxt & ~1) not in lit_map:
+            raise NetlistError(f"latch next references unknown var {nxt}")
+        aig.set_next(lit_map[lit], map_lit(nxt))
+    for lit in output_lits:
+        if (lit & ~1) not in lit_map:
+            raise NetlistError(f"output references unknown var {lit}")
+        aig.add_output(map_lit(lit))
+
+    # Symbol table.
+    ordered_inputs = [lit_map[lit] for lit in input_lits]
+    ordered_latches = [lit_map[lit] for lit in (p[0] for p in latch_next)]
+    for line in symbols:
+        if not line or line[0] == "c":
+            break
+        kind, _, rest = line.partition(" ")
+        if not rest or kind[0] not in "ilo" or not kind[1:].isdigit():
+            continue
+        idx = int(kind[1:])
+        if kind[0] == "i" and idx < len(ordered_inputs):
+            aig.names[aig_node(ordered_inputs[idx])] = rest
+        elif kind[0] == "l" and idx < len(ordered_latches):
+            aig.names[aig_node(ordered_latches[idx])] = rest
+        elif kind[0] == "o" and idx < len(aig.outputs):
+            aig.names.setdefault(aig_node(aig.outputs[idx]), rest)
+    return aig
+
+
+def write_aiger(aig: AIG, comment: Optional[str] = None) -> str:
+    """Serialize an :class:`AIG` to ASCII AIGER text.
+
+    Nodes are renumbered into AIGER's canonical order (inputs, then
+    latches, then ANDs) so the output is maximally portable.
+    """
+    var_of: Dict[int, int] = {0: 0}
+    next_var = 1
+    for node in aig.inputs:
+        var_of[node] = next_var
+        next_var += 1
+    for node in aig.latches:
+        var_of[node] = next_var
+        next_var += 1
+    and_nodes = [n for n in range(1, len(aig)) if aig.kind(n) == "and"]
+    for node in and_nodes:
+        var_of[node] = next_var
+        next_var += 1
+
+    def out_lit(lit: int) -> int:
+        return (var_of[aig_node(lit)] << 1) | (lit & 1)
+
+    m = next_var - 1
+    lines = [f"aag {m} {len(aig.inputs)} {len(aig.latches)} "
+             f"{len(aig.outputs)} {len(and_nodes)}"]
+    for node in aig.inputs:
+        lines.append(str(var_of[node] << 1))
+    for node in aig.latches:
+        init = aig.init_of(node)
+        suffix = f" {init}" if init else ""
+        lines.append(f"{var_of[node] << 1} {out_lit(aig.next_of(node))}"
+                     f"{suffix}")
+    for lit in aig.outputs:
+        lines.append(str(out_lit(lit)))
+    for node in and_nodes:
+        a, b = aig.fanins(node)
+        la, lb = out_lit(a), out_lit(b)
+        if la < lb:
+            la, lb = lb, la
+        lines.append(f"{var_of[node] << 1} {la} {lb}")
+    for idx, node in enumerate(aig.inputs):
+        if node in aig.names:
+            lines.append(f"i{idx} {aig.names[node]}")
+    for idx, node in enumerate(aig.latches):
+        if node in aig.names:
+            lines.append(f"l{idx} {aig.names[node]}")
+    for idx, lit in enumerate(aig.outputs):
+        if aig_node(lit) in aig.names:
+            lines.append(f"o{idx} {aig.names[aig_node(lit)]}")
+    if comment:
+        lines.append("c")
+        lines.append(comment)
+    return "\n".join(lines) + "\n"

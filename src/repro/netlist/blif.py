@@ -1,0 +1,287 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Supports the combinational/sequential core of BLIF: ``.model``,
+``.inputs``/``.outputs``, ``.names`` single-output cover tables and
+``.latch`` (with initial values 0, 1, 2 = don't-care and 3 = unknown —
+both of the latter map to a nondeterministic input-driven initial
+value, which the netlist model supports natively).  Covers are
+synthesized as OR-of-AND cubes; writing emits one ``.names`` per gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .netlist import Netlist
+from .types import Gate, GateType, NetlistError
+
+
+def _tokenize(text: str) -> List[List[str]]:
+    """Logical BLIF lines (backslash continuations joined, comments
+    stripped), tokenized."""
+    lines: List[List[str]] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        if line.strip():
+            lines.append(line.split())
+    if pending.strip():
+        lines.append(pending.split())
+    return lines
+
+
+def parse_blif(text: str, name: Optional[str] = None) -> Netlist:
+    """Parse BLIF ``text`` into a netlist.
+
+    Outputs are registered as both outputs and verification targets
+    (the Section 4 convention).  Only single-model files are
+    supported; ``.subckt`` hierarchies are not.
+    """
+    lines = _tokenize(text)
+    model = name or "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    latches: List[Tuple[str, str, int]] = []  # (output, input, init)
+    covers: List[Tuple[List[str], str, List[Tuple[str, str]]]] = []
+
+    i = 0
+    while i < len(lines):
+        tokens = lines[i]
+        head = tokens[0]
+        if head == ".model":
+            if len(tokens) > 1 and name is None:
+                model = tokens[1]
+            i += 1
+        elif head == ".inputs":
+            inputs.extend(tokens[1:])
+            i += 1
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+            i += 1
+        elif head == ".latch":
+            if len(tokens) < 3:
+                raise NetlistError(f"malformed .latch: {' '.join(tokens)}")
+            lin, lout = tokens[1], tokens[2]
+            init = 3
+            # Optional: [type control] [init]; the last token is the
+            # init value when it is a digit.
+            if tokens[-1].isdigit() and len(tokens) > 3:
+                init = int(tokens[-1])
+            if init not in (0, 1, 2, 3):
+                raise NetlistError(f"invalid latch init {init}")
+            latches.append((lout, lin, init))
+            i += 1
+        elif head == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise NetlistError(".names requires at least an output")
+            out = signals[-1]
+            ins = signals[:-1]
+            rows: List[Tuple[str, str]] = []
+            i += 1
+            while i < len(lines) and not lines[i][0].startswith("."):
+                row = lines[i]
+                if len(ins) == 0:
+                    rows.append(("", row[0]))
+                elif len(row) != 2:
+                    raise NetlistError(
+                        f"malformed cover row: {' '.join(row)}")
+                else:
+                    rows.append((row[0], row[1]))
+                i += 1
+            covers.append((ins, out, rows))
+        elif head == ".end":
+            i += 1
+        else:
+            raise NetlistError(f"unsupported BLIF construct {head!r}")
+
+    net = Netlist(model)
+    vid: Dict[str, int] = {}
+    const0 = net.const0()
+    const1 = net.add_gate(GateType.NOT, (const0,))
+    for sig in inputs:
+        vid[sig] = net.add_gate(GateType.INPUT, (), name=sig)
+    for lout, _lin, init in latches:
+        if init in (0, 1):
+            init_vid = const1 if init else const0
+        else:  # don't-care / unknown: nondeterministic initial value
+            init_vid = net.add_gate(GateType.INPUT, (),
+                                    name=f"__init_{lout}")
+        vid[lout] = net.add_gate(GateType.REGISTER, (const0, init_vid),
+                                 name=lout)
+
+    def build_cover(ins: List[str], rows) -> int:
+        if not ins:
+            # Constant: output 1 iff some row outputs '1'.
+            value = any(out_val == "1" for _, out_val in rows)
+            return const1 if value else const0
+        on_rows = [(cube, out_val) for cube, out_val in rows]
+        polarity = {out_val for _, out_val in on_rows}
+        if polarity - {"0", "1"}:
+            raise NetlistError("cover outputs must be 0/1")
+        if len(polarity) > 1:
+            raise NetlistError(
+                "cover mixes on-set and off-set rows")
+        # BLIF covers list either the on-set or the off-set.
+        target_is_on = "1" in polarity
+        cubes = []
+        for cube, out_val in on_rows:
+            if len(cube) != len(ins):
+                raise NetlistError(
+                    f"cube width {len(cube)} != {len(ins)} inputs")
+            literals = []
+            for bit, sig in zip(cube, ins):
+                if bit == "-":
+                    continue
+                lit = vid[sig]
+                if bit == "0":
+                    lit = net.add_gate(GateType.NOT, (lit,))
+                elif bit != "1":
+                    raise NetlistError(f"invalid cube character {bit!r}")
+                literals.append(lit)
+            if not literals:
+                cubes.append(const1)
+            elif len(literals) == 1:
+                cubes.append(literals[0])
+            else:
+                cubes.append(net.add_gate(GateType.AND, tuple(literals)))
+        if not cubes:
+            fn = const0
+        elif len(cubes) == 1:
+            fn = cubes[0]
+        else:
+            fn = net.add_gate(GateType.OR, tuple(cubes))
+        if not target_is_on:
+            fn = net.add_gate(GateType.NOT, (fn,))
+        return fn
+
+    # Resolve covers in dependency order.
+    pending = list(covers)
+    while pending:
+        progressed = False
+        deferred = []
+        for ins, out, rows in pending:
+            if all(sig in vid for sig in ins):
+                fn = build_cover(ins, rows)
+                if out in vid:
+                    raise NetlistError(f"signal {out!r} defined twice")
+                # Name the signal: rename fresh anonymous gates in
+                # place; aliased vertices (inputs, constants, shared
+                # cones) get a named buffer instead.
+                gate = net.gate(fn)
+                if gate.name is None and gate.is_combinational:
+                    try:
+                        net.replace_gate(fn, Gate(gate.type, gate.fanins,
+                                                  out))
+                    except NetlistError:
+                        fn = net.add_gate(GateType.BUF, (fn,))
+                else:
+                    try:
+                        fn = net.add_gate(GateType.BUF, (fn,), name=out)
+                    except NetlistError:
+                        fn = net.add_gate(GateType.BUF, (fn,))
+                vid[out] = fn
+                progressed = True
+            else:
+                deferred.append((ins, out, rows))
+        if not progressed:
+            missing = sorted({s for ins, _, _ in deferred
+                              for s in ins} - set(vid))
+            raise NetlistError(f"undefined BLIF signals: {missing}")
+        pending = deferred
+
+    for lout, lin, _init in latches:
+        if lin not in vid:
+            raise NetlistError(f"latch input {lin!r} undefined")
+        reg = vid[lout]
+        net.set_fanins(reg, (vid[lin], net.gate(reg).fanins[1]))
+    for sig in outputs:
+        if sig not in vid:
+            raise NetlistError(f"output {sig!r} undefined")
+        net.add_output(vid[sig])
+        net.add_target(vid[sig])
+    return net
+
+
+def write_blif(net: Netlist) -> str:
+    """Serialize ``net`` to BLIF text.
+
+    Requires a register-based netlist; nondeterministic initial values
+    become init 2 (don't-care) with the init-driving cone dropped when
+    it is a plain input, and are rejected otherwise.
+    """
+
+    def label(vid: int) -> str:
+        gate = net.gate(vid)
+        return gate.name if gate.name else f"n{vid}"
+
+    if net.latches:
+        raise NetlistError("BLIF writer requires a register-based netlist")
+    lines = [f".model {net.name}"]
+    input_names = [label(v) for v in net.inputs]
+    if input_names:
+        lines.append(".inputs " + " ".join(input_names))
+    out_names = [label(v) for v in net.outputs]
+    if out_names:
+        lines.append(".outputs " + " ".join(out_names))
+    body: List[str] = []
+    for vid, gate in net.gates():
+        t = gate.type
+        if t in (GateType.INPUT,):
+            continue
+        if t is GateType.CONST0:
+            body.append(f".names {label(vid)}")
+            continue
+        if t is GateType.REGISTER:
+            nxt, init = gate.fanins
+            igate = net.gate(init)
+            if igate.type is GateType.CONST0:
+                init_code = 0
+            elif igate.type is GateType.NOT and net.gate(
+                    igate.fanins[0]).type is GateType.CONST0:
+                init_code = 1
+            elif igate.type is GateType.INPUT:
+                init_code = 2
+            else:
+                raise NetlistError(
+                    f"register {vid} has a non-trivial initial-value "
+                    f"cone; not expressible in BLIF")
+            body.append(f".latch {label(nxt)} {label(vid)} {init_code}")
+            continue
+        ins = [label(f) for f in gate.fanins]
+        header = f".names {' '.join(ins)} {label(vid)}"
+        if t is GateType.BUF:
+            rows = ["1 1"]
+        elif t is GateType.NOT:
+            rows = ["0 1"]
+        elif t is GateType.AND:
+            rows = ["1" * len(ins) + " 1"]
+        elif t is GateType.NAND:
+            rows = ["1" * len(ins) + " 0"]
+        elif t is GateType.OR:
+            rows = ["0" * len(ins) + " 0"]
+        elif t is GateType.NOR:
+            rows = ["0" * len(ins) + " 1"]
+        elif t in (GateType.XOR, GateType.XNOR):
+            rows = []
+            for bits in range(1 << len(ins)):
+                pattern = "".join("1" if (bits >> k) & 1 else "0"
+                                  for k in range(len(ins)))
+                parity = bin(bits).count("1") & 1
+                value = parity if t is GateType.XOR else 1 - parity
+                if value:
+                    rows.append(f"{pattern} 1")
+        elif t is GateType.MUX:
+            rows = ["11- 1", "0-1 1"]
+        else:  # pragma: no cover - exhaustive
+            raise NetlistError(f"cannot write gate type {t}")
+        body.append(header)
+        body.extend(rows)
+    lines.extend(body)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,100 @@
+"""Netlist well-formedness checking (linting).
+
+:func:`validate` inspects a netlist for structural problems and
+returns a list of :class:`Issue` records — errors (which make other
+engines misbehave or raise) and warnings (legal but suspicious
+constructs).  The CLI tools run it after loading files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .netlist import Netlist
+from .traversal import topological_order
+from .types import GateType, NetlistError
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One finding: severity, an identifying code, and a message."""
+
+    severity: str
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.severity}[{self.code}]: {self.message}"
+
+
+def validate(net: Netlist) -> List[Issue]:
+    """Check ``net``; returns issues sorted errors-first."""
+    issues: List[Issue] = []
+
+    # Combinational cycles break every traversal-based engine.
+    try:
+        topological_order(net)
+    except NetlistError as exc:
+        issues.append(Issue(ERROR, "comb-cycle", str(exc)))
+
+    fanouts = net.fanout_map()
+    observed = set(net.targets) | set(net.outputs)
+    n_const = 0
+    for vid, gate in net.gates():
+        if gate.type is GateType.CONST0:
+            n_const += 1
+        if gate.type is GateType.REGISTER:
+            nxt, init = gate.fanins
+            if nxt == vid and init == vid:
+                issues.append(Issue(
+                    WARNING, "self-init",
+                    f"register {vid} uses itself as initial value"))
+        # Dangling logic: no fanout and not observed.  The shared
+        # constant-1 (NOT of constant 0) scaffolding is exempt.
+        is_const1 = (gate.type is GateType.NOT and
+                     net.gate(gate.fanins[0]).type is GateType.CONST0)
+        if not fanouts[vid] and vid not in observed \
+                and gate.is_combinational and not is_const1:
+            issues.append(Issue(
+                WARNING, "dangling",
+                f"gate {vid} ({gate.type.value}) drives nothing"))
+    if n_const > 1:
+        issues.append(Issue(
+            WARNING, "multi-const",
+            f"{n_const} constant-0 vertices (expected one shared)"))
+
+    for t in net.targets:
+        gate = net.gate(t)
+        if gate.type is GateType.CONST0:
+            issues.append(Issue(
+                WARNING, "trivial-target",
+                f"target {t} is constant 0 (trivially unreachable)"))
+
+    # Latch clocks that are constants never (or always) sample.
+    for vid in net.latches:
+        clock = net.gate(vid).fanins[1]
+        cgate = net.gate(clock)
+        if cgate.type is GateType.CONST0:
+            issues.append(Issue(
+                WARNING, "dead-clock",
+                f"latch {vid} has a constant-0 clock (never samples)"))
+
+    # Duplicate targets are legal but inflate table counts.
+    if len(set(net.targets)) != len(net.targets):
+        issues.append(Issue(
+            WARNING, "dup-targets",
+            "duplicate entries in the target list"))
+
+    issues.sort(key=lambda issue: (issue.severity != ERROR, issue.code))
+    return issues
+
+
+def assert_valid(net: Netlist) -> None:
+    """Raise :class:`NetlistError` when ``net`` has any error issue."""
+    errors = [i for i in validate(net) if i.severity == ERROR]
+    if errors:
+        raise NetlistError("; ".join(i.message for i in errors))

@@ -1,0 +1,50 @@
+"""CDCL SAT solving, CNF containers, and Tseitin netlist encoding."""
+
+from .cnf import (
+    CNF,
+    from_dimacs_lit,
+    lit_not,
+    lit_sign,
+    lit_var,
+    neg,
+    pos,
+    to_dimacs_lit,
+)
+from .solver import SAT, UNKNOWN, UNSAT, Solver
+from .qbf import QBFResult, solve_exists_forall, solve_forall_exists
+from .tseitin import (
+    CnfSink,
+    encode_and,
+    encode_equiv,
+    encode_frame,
+    encode_init_state,
+    encode_mux,
+    encode_or,
+    encode_xor2,
+)
+
+__all__ = [
+    "CNF",
+    "CnfSink",
+    "QBFResult",
+    "SAT",
+    "Solver",
+    "UNKNOWN",
+    "UNSAT",
+    "encode_and",
+    "encode_equiv",
+    "encode_frame",
+    "encode_init_state",
+    "encode_mux",
+    "encode_or",
+    "encode_xor2",
+    "from_dimacs_lit",
+    "lit_not",
+    "lit_sign",
+    "lit_var",
+    "neg",
+    "pos",
+    "solve_exists_forall",
+    "solve_forall_exists",
+    "to_dimacs_lit",
+]

@@ -1,0 +1,130 @@
+"""A CEGAR solver for 2QBF formulas ``forall X exists Y . phi(X, Y)``.
+
+General diameter calculation "relies upon quantified Boolean formulae
+(QBF), thus is PSPACE-complete" (Section 1); the paper's conclusion
+names speeding up QBF-based diameter calculation as future work.  This
+module provides the required machinery: a counterexample-guided
+abstraction-refinement loop in the style of Janota/Marques-Silva's
+2QBF algorithm, built on the project's CDCL solver.
+
+``phi`` is supplied as an *encoding callback*
+``encode(sink, x_lits, y_lits) -> output_literal`` so arbitrary
+circuit-shaped matrices (e.g. netlist unrollings) plug in without a
+prenex-CNF detour:
+
+* the **verifier** solver carries one copy of ``phi(x, y)`` with both
+  blocks free; a universal candidate ``X*`` is checked by assuming its
+  literals and asking for *some* ``Y``;
+* the **abstraction** solver searches for a candidate ``X`` refuting
+  the formula; each discovered witness ``Y*`` refines it with a copy
+  of ``phi(X, Y*)`` constrained false (``X`` must beat every collected
+  witness).
+
+UNSAT abstraction means no refuting ``X`` exists: the formula is valid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .cnf import lit_not, pos
+from .solver import UNKNOWN, UNSAT, Solver
+from .tseitin import CnfSink
+
+#: ``encode(sink, x_lits, y_lits) -> literal`` of the matrix phi.
+MatrixEncoder = Callable[[CnfSink, List[int], List[int]], int]
+
+
+@dataclass
+class QBFResult:
+    """Outcome of a 2QBF query.
+
+    ``valid`` is True when ``forall X exists Y . phi`` holds;
+    ``counterexample`` carries the refuting universal assignment
+    otherwise; ``iterations`` counts CEGAR refinements; ``exact`` is
+    False if the solver gave up on a resource budget (treat as
+    unknown).
+    """
+
+    valid: bool
+    counterexample: Optional[List[bool]] = None
+    iterations: int = 0
+    exact: bool = True
+
+
+def solve_forall_exists(
+    num_x: int,
+    num_y: int,
+    encode: MatrixEncoder,
+    max_iterations: int = 10000,
+    conflict_budget: Optional[int] = None,
+) -> QBFResult:
+    """Decide ``forall X exists Y . phi(X, Y)`` by CEGAR."""
+    # Verifier: one shared copy of phi with free X and Y.
+    verifier = Solver()
+    v_sink = CnfSink(verifier)
+    vx = [pos(verifier.new_var()) for _ in range(num_x)]
+    vy = [pos(verifier.new_var()) for _ in range(num_y)]
+    v_phi = encode(v_sink, vx, vy)
+    verifier.add_clause([v_phi])
+
+    # Abstraction: searches for X refuting every collected witness.
+    abstraction = Solver()
+    a_sink = CnfSink(abstraction)
+    ax = [pos(abstraction.new_var()) for _ in range(num_x)]
+
+    iterations = 0
+    while iterations < max_iterations:
+        iterations += 1
+        status = abstraction.solve(conflict_budget=conflict_budget)
+        if status == UNKNOWN:
+            return QBFResult(valid=False, iterations=iterations,
+                             exact=False)
+        if status == UNSAT:
+            return QBFResult(valid=True, iterations=iterations)
+        candidate = [abstraction.model[lit >> 1] for lit in ax]
+        assumptions = [lit if value else lit_not(lit)
+                       for lit, value in zip(vx, candidate)]
+        status = verifier.solve(assumptions,
+                                conflict_budget=conflict_budget)
+        if status == UNKNOWN:
+            return QBFResult(valid=False, iterations=iterations,
+                             exact=False)
+        if status == UNSAT:
+            # No Y exists for this X: genuine counterexample.
+            return QBFResult(valid=False, counterexample=candidate,
+                             iterations=iterations)
+        witness = [verifier.model[lit >> 1] for lit in vy]
+        # Refine: X must also refute phi(., witness).
+        wy = [a_sink.true_lit if value else a_sink.false_lit
+              for value in witness]
+        refute = encode(a_sink, ax, wy)
+        abstraction.add_clause([lit_not(refute)])
+    return QBFResult(valid=False, iterations=iterations, exact=False)
+
+
+def solve_exists_forall(
+    num_x: int,
+    num_y: int,
+    encode: MatrixEncoder,
+    max_iterations: int = 10000,
+    conflict_budget: Optional[int] = None,
+) -> QBFResult:
+    """Decide ``exists X forall Y . phi(X, Y)``.
+
+    Dual of :func:`solve_forall_exists`: valid iff the negated
+    ``forall X exists Y . not phi`` is invalid, and the refuting
+    assignment of that query is exactly the existential witness.
+    """
+
+    def negated(sink: CnfSink, xs: List[int], ys: List[int]) -> int:
+        return lit_not(encode(sink, xs, ys))
+
+    inner = solve_forall_exists(num_x, num_y, negated,
+                                max_iterations=max_iterations,
+                                conflict_budget=conflict_budget)
+    return QBFResult(valid=not inner.valid and inner.exact,
+                     counterexample=inner.counterexample,
+                     iterations=inner.iterations,
+                     exact=inner.exact)

@@ -1,0 +1,453 @@
+"""A CDCL SAT solver.
+
+Implements the standard conflict-driven clause-learning architecture —
+two-watched-literal propagation, first-UIP conflict analysis with
+recursive clause minimization, VSIDS decision heuristics with phase
+saving, Luby restarts, and learnt-clause database reduction — in pure
+Python.  It is the reasoning engine behind SAT sweeping (Section 3.1),
+BMC, k-induction, and the recurrence-diameter computation.
+
+Literals use the 0-based encoding of :mod:`repro.sat.cnf` (variable
+``v`` gives positive literal ``2*v``, negative ``2*v + 1``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cnf import CNF, lit_not, lit_sign, lit_var
+
+#: Tri-state results of :meth:`Solver.solve`.
+SAT = "sat"
+UNSAT = "unsat"
+UNKNOWN = "unknown"
+
+
+class _Clause:
+    __slots__ = ("lits", "learnt", "activity")
+
+    def __init__(self, lits: List[int], learnt: bool) -> None:
+        self.lits = lits
+        self.learnt = learnt
+        self.activity = 0.0
+
+
+class Solver:
+    """An incremental CDCL SAT solver with assumption support."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        self._watches: List[List[_Clause]] = []
+        self._assign: List[Optional[bool]] = []
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
+        self._polarity: List[bool] = []
+        self._activity: List[float] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._heap: List[tuple] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._ok = True
+        self.model: List[bool] = []
+        # Statistics (useful in benchmarks and debugging).
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        var = self.num_vars
+        self.num_vars += 1
+        self._watches.append([])
+        self._watches.append([])
+        self._assign.append(None)
+        self._level.append(0)
+        self._reason.append(None)
+        self._polarity.append(False)
+        self._activity.append(0.0)
+        heapq.heappush(self._heap, (0.0, var))
+        return var
+
+    def _ensure_var(self, var: int) -> None:
+        while self.num_vars <= var:
+            self.new_var()
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially UNSAT.
+
+        May be called between :meth:`solve` calls (the solver first
+        backtracks to decision level 0).
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        seen: Dict[int, int] = {}
+        clause: List[int] = []
+        for lit in lits:
+            self._ensure_var(lit_var(lit))
+            if self._value(lit) is True:
+                return True  # satisfied at level 0
+            if self._value(lit) is False:
+                continue  # falsified at level 0: drop literal
+            if lit in seen:
+                continue
+            if lit_not(lit) in seen:
+                return True  # tautology
+            seen[lit] = 1
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            self._ok = self._propagate() is None
+            return self._ok
+        c = _Clause(clause, learnt=False)
+        self._clauses.append(c)
+        self._attach(c)
+        return True
+
+    def add_cnf(self, cnf: CNF) -> bool:
+        """Load all clauses of a :class:`~repro.sat.cnf.CNF`."""
+        self._ensure_var(cnf.num_vars - 1) if cnf.num_vars else None
+        for clause in cnf.clauses:
+            if not self.add_clause(clause):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        conflict_budget: Optional[int] = None,
+    ) -> str:
+        """Solve under ``assumptions``; returns ``sat``/``unsat``/``unknown``.
+
+        ``conflict_budget`` bounds the number of conflicts explored
+        (``unknown`` on exhaustion).  On ``sat``, :attr:`model` holds a
+        satisfying assignment indexed by variable.
+        """
+        if not self._ok:
+            return UNSAT
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._ok = False
+            return UNSAT
+        assumptions = list(assumptions)
+        budget_start = self.conflicts
+        restart_idx = 1
+        limit = 128 * self._luby(restart_idx)
+        conflicts_here = 0
+        max_learnts = max(1000, 2 * len(self._clauses))
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_here += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return UNSAT
+                learnt, back_level = self._analyze(conflict)
+                # Backtracking may unwind assumption levels; the decision
+                # loop below re-applies them (and reports UNSAT if one
+                # has become falsified by learned clauses).
+                self._cancel_until(back_level)
+                self._record_learnt(learnt)
+                self._decay_activities()
+                if conflict_budget is not None and \
+                        self.conflicts - budget_start >= conflict_budget:
+                    self._cancel_until(0)
+                    return UNKNOWN
+                if conflicts_here >= limit:
+                    restart_idx += 1
+                    limit = 128 * self._luby(restart_idx)
+                    conflicts_here = 0
+                    self._cancel_until(0)
+                if len(self._learnts) >= max_learnts:
+                    self._reduce_db()
+                    max_learnts = int(max_learnts * 1.3)
+                continue
+            # No conflict: extend with assumption or decision.
+            if self._decision_level() < len(assumptions):
+                lit = assumptions[self._decision_level()]
+                self._ensure_var(lit_var(lit))
+                val = self._value(lit)
+                if val is True:
+                    # Already implied: open an empty decision level so
+                    # level bookkeeping still tracks assumption count.
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if val is False:
+                    return UNSAT
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                continue
+            lit = self._pick_branch()
+            if lit is None:
+                self.model = [bool(v) for v in self._assign]
+                self._cancel_until(0)
+                return SAT
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(lit, None)
+
+    def value(self, var: int) -> bool:
+        """Value of ``var`` in the last model."""
+        return self.model[var]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        v = self._assign[lit_var(lit)]
+        if v is None:
+            return None
+        return (not v) if lit_sign(lit) else v
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _attach(self, clause: _Clause) -> None:
+        self._watches[lit_not(clause.lits[0])].append(clause)
+        self._watches[lit_not(clause.lits[1])].append(clause)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+        val = self._value(lit)
+        if val is not None:
+            return val
+        var = lit_var(lit)
+        self._assign[var] = not lit_sign(lit)
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._polarity[var] = self._assign[var]
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.propagations += 1
+            watchers = self._watches[lit]
+            i = 0
+            j = 0
+            n = len(watchers)
+            while i < n:
+                clause = watchers[i]
+                i += 1
+                lits = clause.lits
+                # Ensure the falsified literal is in slot 1.
+                false_lit = lit_not(lit)
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) is True:
+                    watchers[j] = clause
+                    j += 1
+                    continue
+                # Search for a new watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lit_not(lits[1])].append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Unit or conflicting.
+                watchers[j] = clause
+                j += 1
+                if self._value(first) is False:
+                    # Conflict: keep remaining watchers, reset queue.
+                    while i < n:
+                        watchers[j] = watchers[i]
+                        j += 1
+                        i += 1
+                    del watchers[j:]
+                    self._qhead = len(self._trail)
+                    return clause
+                self._enqueue(first, clause)
+            del watchers[j:]
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple:
+        learnt: List[int] = [0]  # slot 0 for the asserting literal
+        seen = [False] * self.num_vars
+        counter = 0
+        lit = None
+        reason: Optional[_Clause] = conflict
+        idx = len(self._trail) - 1
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            start = 0 if lit is None else 1
+            # After the first iteration lits[0] is the enqueued literal.
+            lits = reason.lits
+            if lit is not None and lits[0] != lit:
+                # Reason clause stores the implied literal first; if not,
+                # locate it and skip it.
+                lits = [lit] + [x for x in lits if x != lit]
+            for q in lits[start:]:
+                var = lit_var(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= self._decision_level():
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[lit_var(self._trail[idx])]:
+                idx -= 1
+            lit = self._trail[idx]
+            idx -= 1
+            var = lit_var(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learnt[0] = lit_not(lit)
+        # Clause minimization: drop literals implied by the rest.
+        learnt = self._minimize(learnt, seen)
+        if len(learnt) == 1:
+            back_level = 0
+        else:
+            # Find the literal with the second-highest level.
+            max_i = 1
+            for i in range(2, len(learnt)):
+                if self._level[lit_var(learnt[i])] > \
+                        self._level[lit_var(learnt[max_i])]:
+                    max_i = i
+            learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+            back_level = self._level[lit_var(learnt[1])]
+        return learnt, back_level
+
+    def _minimize(self, learnt: List[int], seen: List[bool]) -> List[int]:
+        for lit in learnt[1:]:
+            seen[lit_var(lit)] = True
+        out = [learnt[0]]
+        for lit in learnt[1:]:
+            reason = self._reason[lit_var(lit)]
+            if reason is None:
+                out.append(lit)
+                continue
+            redundant = all(
+                seen[lit_var(q)] or self._level[lit_var(q)] == 0
+                for q in reason.lits if lit_var(q) != lit_var(lit)
+            )
+            if not redundant:
+                out.append(lit)
+        for lit in learnt[1:]:
+            seen[lit_var(lit)] = False
+        return out
+
+    def _record_learnt(self, learnt: List[int]) -> None:
+        if len(learnt) == 1:
+            self._enqueue(learnt[0], None)
+            return
+        clause = _Clause(learnt, learnt=True)
+        clause.activity = self._cla_inc
+        self._learnts.append(clause)
+        self._attach(clause)
+        self._enqueue(learnt[0], clause)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            var = lit_var(lit)
+            self._assign[var] = None
+            self._reason[var] = None
+            heapq.heappush(self._heap, (-self._activity[var], var))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _pick_branch(self) -> Optional[int]:
+        while self._heap:
+            _, var = heapq.heappop(self._heap)
+            if self._assign[var] is None:
+                return (var << 1) | (0 if self._polarity[var] else 1)
+        for var in range(self.num_vars):
+            if self._assign[var] is None:
+                return (var << 1) | (0 if self._polarity[var] else 1)
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(self.num_vars):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+        heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if clause.learnt:
+            clause.activity += self._cla_inc
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= 0.999
+
+    def _reduce_db(self) -> None:
+        locked = set()
+        for var in range(self.num_vars):
+            reason = self._reason[var]
+            if reason is not None and reason.learnt:
+                locked.add(id(reason))
+        self._learnts.sort(key=lambda c: c.activity)
+        keep_from = len(self._learnts) // 2
+        removed = []
+        kept = []
+        for i, clause in enumerate(self._learnts):
+            if i < keep_from and id(clause) not in locked \
+                    and len(clause.lits) > 2:
+                removed.append(clause)
+            else:
+                kept.append(clause)
+        for clause in removed:
+            self._detach(clause)
+        self._learnts = kept
+
+    def _detach(self, clause: _Clause) -> None:
+        for lit in (clause.lits[0], clause.lits[1]):
+            watchers = self._watches[lit_not(lit)]
+            try:
+                watchers.remove(clause)
+            except ValueError:
+                pass
+
+    @staticmethod
+    def _luby(i: int) -> int:
+        """The Luby restart sequence 1,1,2,1,1,2,4,... (1-based index).
+
+        MiniSat's formulation: find the finite subsequence containing
+        index ``i`` and its position within it.
+        """
+        if i < 1:
+            raise ValueError("the Luby sequence is 1-based")
+        x = i - 1
+        size, seq = 1, 0
+        while size < x + 1:
+            seq += 1
+            size = 2 * size + 1
+        while size - 1 != x:
+            size = (size - 1) >> 1
+            seq -= 1
+            x %= size
+        return 1 << seq

@@ -1,0 +1,58 @@
+"""Random simulation signatures for equivalence-candidate filtering.
+
+The COM engine (SAT sweeping, Section 3.1) must guess which vertex
+pairs might be semantically equivalent before it proves anything.  The
+classic filter is random simulation: run many random traces in
+parallel, collect each vertex's value *signature*, and only consider
+pairs with identical (or complementary) signatures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..netlist import Netlist
+from .simulator import BitParallelSimulator
+
+
+def random_signatures(
+    net: Netlist,
+    cycles: int = 8,
+    width: int = 64,
+    seed: int = 2004,
+) -> Dict[int, Tuple[int, ...]]:
+    """Per-vertex signatures from ``width`` random runs of ``cycles``.
+
+    The signature of a vertex is the tuple of its bit-parallel values
+    over time; equal signatures are a necessary condition for sequential
+    equivalence (from the initial states), so they make good merge
+    candidates.
+    """
+    rng = random.Random(seed)
+    sim = BitParallelSimulator(net, width=width)
+    mask = sim.mask
+    init_inputs = {v: rng.getrandbits(width) & mask for v in net.inputs}
+    state = sim.initial_state(init_inputs)
+    signatures: Dict[int, List[int]] = {v: [] for v in net}
+    for _ in range(cycles):
+        inputs = {v: rng.getrandbits(width) & mask for v in net.inputs}
+        values, state = sim.step(state, inputs)
+        for vid, val in values.items():
+            signatures[vid].append(val)
+    return {vid: tuple(sig) for vid, sig in signatures.items()}
+
+
+def signature_classes(
+    signatures: Dict[int, Tuple[int, ...]]
+) -> List[List[int]]:
+    """Group vertices into candidate-equivalence classes by signature.
+
+    Returns only classes with two or more members, each sorted by
+    vertex id (the earliest vertex acts as class representative).
+    """
+    classes: Dict[Tuple[int, ...], List[int]] = {}
+    for vid, sig in signatures.items():
+        classes.setdefault(sig, []).append(vid)
+    return [sorted(members) for members in classes.values()
+            if len(members) > 1]

@@ -1,0 +1,177 @@
+"""Bit-parallel netlist simulation (Definition 2 trace semantics).
+
+Values are Python integers used as bit-vectors: bit ``k`` of every
+signal belongs to the ``k``-th of ``width`` parallel simulation runs.
+This gives cheap random-simulation *signatures* for the COM engine's
+equivalence-candidate filtering, and ``width=1`` gives plain traces.
+
+Latch semantics
+---------------
+A level-sensitive latch is modeled in discrete time as
+``out(t) = clock(t-1) ? data(t-1) : out(t-1)`` with ``out(0)`` given by
+its initial value (constant 0 by convention).  That is, a latch behaves
+exactly like a register whose next-state is a hold-mux.  This keeps the
+combinational netlist acyclic and is the standard discrete-time view
+under which phase abstraction (Section 3.3) is formulated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..netlist import Netlist, GateType, topological_order
+
+
+class BitParallelSimulator:
+    """Simulates a netlist over ``width`` parallel runs per step."""
+
+    def __init__(self, net: Netlist, width: int = 1) -> None:
+        self.net = net
+        self.width = width
+        self.mask = (1 << width) - 1
+        self._order = topological_order(net)
+        self._init_order = topological_order(
+            net, [net.gate(r).fanins[1] for r in net.state_elements
+                  if net.gate(r).type is GateType.REGISTER]
+        )
+
+    # ------------------------------------------------------------------
+    def initial_state(
+        self, init_inputs: Optional[Dict[int, int]] = None
+    ) -> Dict[int, int]:
+        """Evaluate register initial-value cones into a state map.
+
+        ``init_inputs`` assigns values to primary inputs appearing in
+        initial-value cones (nondeterministic initial values); inputs
+        left unassigned default to 0.  Latches initialize to 0.
+        """
+        values: Dict[int, int] = {}
+        init_inputs = init_inputs or {}
+        for vid in self._init_order:
+            gate = self.net.gate(vid)
+            if gate.type is GateType.INPUT:
+                values[vid] = init_inputs.get(vid, 0) & self.mask
+            elif gate.is_state:
+                # A state element inside an init cone contributes its
+                # own initial value; resolved conservatively to 0 for
+                # latches and recursively for registers.
+                values[vid] = 0
+            else:
+                values[vid] = self._eval(gate, values)
+        state: Dict[int, int] = {}
+        for vid in self.net.state_elements:
+            gate = self.net.gate(vid)
+            if gate.type is GateType.REGISTER:
+                state[vid] = values.get(gate.fanins[1], 0)
+            else:
+                state[vid] = 0
+        return state
+
+    def evaluate(
+        self, state: Dict[int, int], inputs: Dict[int, int]
+    ) -> Dict[int, int]:
+        """Evaluate every vertex for one cycle given state and inputs."""
+        values: Dict[int, int] = {}
+        for vid in self._order:
+            gate = self.net.gate(vid)
+            if gate.is_state:
+                values[vid] = state.get(vid, 0) & self.mask
+            elif gate.type is GateType.INPUT:
+                values[vid] = inputs.get(vid, 0) & self.mask
+            else:
+                values[vid] = self._eval(gate, values)
+        return values
+
+    def next_state(
+        self, state: Dict[int, int], values: Dict[int, int]
+    ) -> Dict[int, int]:
+        """Compute the successor state from current-cycle ``values``."""
+        nxt: Dict[int, int] = {}
+        for vid in self.net.state_elements:
+            gate = self.net.gate(vid)
+            if gate.type is GateType.REGISTER:
+                nxt[vid] = values[gate.fanins[0]]
+            else:  # latch: hold unless clock was high
+                data, clock = gate.fanins
+                c = values[clock]
+                nxt[vid] = (values[data] & c) | (state.get(vid, 0) & ~c
+                                                 & self.mask)
+        return nxt
+
+    def step(
+        self, state: Dict[int, int], inputs: Dict[int, int]
+    ) -> tuple:
+        """One simulation step: ``(values, next_state)``."""
+        values = self.evaluate(state, inputs)
+        return values, self.next_state(state, values)
+
+    def run(
+        self,
+        cycles: int,
+        input_provider: Callable[[int, int], int],
+        observe: Optional[Sequence[int]] = None,
+        init_inputs: Optional[Dict[int, int]] = None,
+    ) -> Dict[int, List[int]]:
+        """Simulate ``cycles`` steps, returning per-vertex value lists.
+
+        ``input_provider(vid, cycle)`` supplies input values;
+        ``observe`` restricts which vertices are recorded (default: all
+        targets, outputs and state elements).
+        """
+        if observe is None:
+            observe = (list(self.net.targets) + list(self.net.outputs)
+                       + self.net.state_elements)
+        observe = list(dict.fromkeys(observe))
+        trace: Dict[int, List[int]] = {v: [] for v in observe}
+        state = self.initial_state(init_inputs)
+        for cycle in range(cycles):
+            inputs = {v: input_provider(v, cycle) for v in self.net.inputs}
+            values, state = self.step(state, inputs)
+            for v in observe:
+                trace[v].append(values[v])
+        return trace
+
+    # ------------------------------------------------------------------
+    def _eval(self, gate, values: Dict[int, int]) -> int:
+        f = gate.fanins
+        t = gate.type
+        if t is GateType.CONST0:
+            return 0
+        if t is GateType.BUF:
+            return values[f[0]]
+        if t is GateType.NOT:
+            return ~values[f[0]] & self.mask
+        if t is GateType.AND:
+            out = self.mask
+            for x in f:
+                out &= values[x]
+            return out
+        if t is GateType.OR:
+            out = 0
+            for x in f:
+                out |= values[x]
+            return out
+        if t is GateType.NAND:
+            out = self.mask
+            for x in f:
+                out &= values[x]
+            return ~out & self.mask
+        if t is GateType.NOR:
+            out = 0
+            for x in f:
+                out |= values[x]
+            return ~out & self.mask
+        if t is GateType.XOR:
+            out = 0
+            for x in f:
+                out ^= values[x]
+            return out
+        if t is GateType.XNOR:
+            out = 0
+            for x in f:
+                out ^= values[x]
+            return ~out & self.mask
+        if t is GateType.MUX:
+            s, a, b = (values[x] for x in f)
+            return (s & a) | (~s & b & self.mask)
+        raise ValueError(f"cannot evaluate gate type {t}")

@@ -1,0 +1,17 @@
+"""Command-line tools and trace utilities.
+
+* ``python -m repro.tools.bound``   — per-target diameter bounds
+* ``python -m repro.tools.check``   — complete bounded verification
+* ``python -m repro.tools.convert`` — BENCH <-> AIGER conversion
+* :mod:`repro.tools.vcd`            — VCD waveform dumping
+"""
+
+from .io import load_netlist, save_netlist
+from .vcd import counterexample_to_vcd, trace_to_vcd
+
+__all__ = [
+    "counterexample_to_vcd",
+    "load_netlist",
+    "save_netlist",
+    "trace_to_vcd",
+]

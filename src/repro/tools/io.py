@@ -1,0 +1,56 @@
+"""Shared netlist-file loading/saving for the command-line tools.
+
+Formats are selected by extension: ``.bench`` (ISCAS89) and ``.aag``
+(ASCII AIGER).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Tuple
+
+from ..netlist import (
+    Netlist,
+    NetlistError,
+    aig_to_netlist,
+    netlist_to_aig,
+    parse_aiger,
+    parse_bench,
+    parse_blif,
+    write_aiger,
+    write_bench,
+    write_blif,
+)
+
+
+def load_netlist(path: str) -> Netlist:
+    """Load a netlist from a ``.bench`` or ``.aag`` file."""
+    name = os.path.splitext(os.path.basename(path))[0]
+    ext = os.path.splitext(path)[1].lower()
+    with open(path) as handle:
+        text = handle.read()
+    if ext == ".bench":
+        return parse_bench(text, name=name)
+    if ext == ".aag":
+        net, _ = aig_to_netlist(parse_aiger(text, name=name))
+        return net
+    if ext == ".blif":
+        return parse_blif(text, name=name)
+    raise NetlistError(f"unsupported netlist format: {path!r} "
+                       f"(expected .bench, .blif or .aag)")
+
+
+def save_netlist(net: Netlist, path: str) -> None:
+    """Save a netlist to a ``.bench`` or ``.aag`` file."""
+    ext = os.path.splitext(path)[1].lower()
+    if ext == ".bench":
+        text = write_bench(net)
+    elif ext == ".blif":
+        text = write_blif(net)
+    elif ext == ".aag":
+        aig, _ = netlist_to_aig(net)
+        text = write_aiger(aig)
+    else:
+        raise NetlistError(f"unsupported netlist format: {path!r}")
+    with open(path, "w") as handle:
+        handle.write(text)

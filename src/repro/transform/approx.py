@@ -1,0 +1,93 @@
+"""Approximate transformations (Sections 3.5 and 3.6).
+
+These reductions are valuable for verification but — as the paper
+proves by counterexample directions — their diameter bounds do *not*
+back-translate: localization/cut-points may add reachable states
+(raising diameter) and add transitions (lowering it); case splitting
+dually.  The steps they produce are flagged accordingly, and
+:func:`repro.core.theory.back_translate` refuses chains containing
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set
+
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import Gate, GateType, Netlist, rebuild, state_support
+
+
+def localize(net: Netlist, cut: Iterable[int],
+             name_suffix: str = "loc") -> TransformResult:
+    """Localization [26]: replace the ``cut`` vertices by fresh inputs.
+
+    Every vertex sourcing a crossing edge of the cut becomes a primary
+    input (cut-point insertion [25] is the single-vertex case).  The
+    result *overapproximates* the original behaviour: targets proven
+    unreachable on it are unreachable originally, but diameter bounds
+    do not transfer (Section 3.5).
+    """
+    work = net.copy()
+    for vid in cut:
+        gate = work.gate(vid)
+        if gate.type in (GateType.INPUT, GateType.CONST0):
+            continue
+        work.replace_gate(vid, Gate(GateType.INPUT, (), gate.name))
+    out, mapping = rebuild(work, name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="LOCALIZE",
+        kind=StepKind.OVERAPPROX,
+        target_map={t: mapping.get(t) for t in net.targets},
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)
+
+
+def localize_by_distance(net: Netlist, target: int,
+                         radius: int) -> TransformResult:
+    """Localize everything more than ``radius`` register-levels from
+    ``target`` (a standard localization-refinement starting cut)."""
+    frontier: Set[int] = set(state_support(net, target))
+    kept: Set[int] = set(frontier)
+    for _ in range(radius):
+        nxt: Set[int] = set()
+        for vid in frontier:
+            gate = net.gate(vid)
+            for edge in gate.fanins[:1] if gate.type is GateType.REGISTER \
+                    else gate.fanins:
+                nxt |= state_support(net, edge)
+        frontier = nxt - kept
+        kept |= nxt
+    cut = [vid for vid in net.state_elements if vid not in kept]
+    return localize(net, cut)
+
+
+def case_split(net: Netlist, assignment: Dict[int, int],
+               name_suffix: str = "case") -> TransformResult:
+    """Case splitting: fix the given primary inputs to constants.
+
+    The result *underapproximates* the original behaviour: a target hit
+    found on it is a real hit, but "diameter bounds obtained upon an
+    underapproximated netlist cannot generally be used to bound the
+    original netlist" (Section 3.6).
+    """
+    work = net.copy()
+    const0 = work.const0()
+    const1 = None
+    for vid, value in assignment.items():
+        gate = work.gate(vid)
+        if gate.type is not GateType.INPUT:
+            raise ValueError(f"case split requires primary inputs; "
+                             f"{vid} is {gate.type.value}")
+        if value:
+            if const1 is None:
+                const1 = work.add_gate(GateType.NOT, (const0,))
+            work.replace_gate(vid, Gate(GateType.BUF, (const1,), gate.name))
+        else:
+            work.replace_gate(vid, Gate(GateType.BUF, (const0,), gate.name))
+    out, mapping = rebuild(work, name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="CASESPLIT",
+        kind=StepKind.UNDERAPPROX,
+        target_map={t: mapping.get(t) for t in net.targets},
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)

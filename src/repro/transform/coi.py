@@ -1,0 +1,33 @@
+"""Cone-of-influence reduction.
+
+"Note also that a cone-of-influence reduction preserves trace-
+equivalence of all vertices in the cone" (Section 3.1) — so by
+Theorem 1 it is free with respect to diameter bounds, while possibly
+removing state elements that inflate structural bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import Netlist, rebuild
+
+
+def coi_reduction(net: Netlist,
+                  roots: Optional[Iterable[int]] = None,
+                  name_suffix: str = "coi") -> TransformResult:
+    """Restrict ``net`` to the cone of influence of ``roots``.
+
+    ``roots`` defaults to the targets alone (outputs outside the
+    property cones are dropped — the point of the reduction).
+    """
+    roots = list(roots) if roots is not None else list(net.targets)
+    out, mapping = rebuild(net, roots=roots,
+                           name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="COI",
+        kind=StepKind.TRACE_EQUIVALENT,
+        target_map={t: mapping.get(t) for t in net.targets},
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)

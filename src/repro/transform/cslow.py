@@ -1,0 +1,163 @@
+"""C-slow abstraction of register-based netlists (Section 3.3).
+
+"C-slow abstraction [21, 17] is directly applicable to register-based
+netlists ... in which the state elements may be c-colored such that
+state elements of color i may only combinationally fan out to state
+elements of color (i + 1) mod c.  By eliminating all but one color of
+state elements (transforming others into combinational logic), both
+abstractions reduce the number of state elements of a netlist by a
+factor of 1/c or greater.  The semantic effect of these abstractions is
+to temporally fold the resulting netlist modulo-c."
+
+The coloring is inferred from the register dependency graph by BFS
+(consistency-checked); registers of non-kept colors are replaced by
+transparent buffers of their next-state cones.  As with the engines of
+[21, 17], the abstraction assumes a *proper* c-slow design: eliminated
+registers carry pipeline copies whose initial values are inert (the
+generators in :mod:`repro.gen` construct such designs).  The folded
+netlist satisfies Theorem 3: ``d(U) <= c * d(Ũ)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import (
+    Gate,
+    GateType,
+    Netlist,
+    NetlistError,
+    rebuild,
+    register_graph,
+)
+
+
+def max_cslow_factor(net: Netlist) -> int:
+    """The largest ``c`` for which the netlist is c-slow.
+
+    Footnote of Section 3.3: "c may readily be bounded by |R|.  In
+    [17], a netlist preprocessing technique is formalized to allow
+    c-slow abstraction to be applied to any netlist where each
+    directed cycle comprises a factor of c > 1 registers."  The
+    maximal such factor is the gcd of all directed-cycle lengths of
+    the register dependency graph, computed by DFS potentials: an
+    edge closing a cycle contributes ``|p(r) + 1 - p(s)|`` to the gcd.
+
+    Returns 0 when the register graph is acyclic (every ``c`` works —
+    there is nothing to fold), and 1 when cycles exist but share no
+    common factor.
+    """
+    import math
+
+    graph = register_graph(net)
+    # The coloring constraints are color(s) = color(r) + 1 (mod c) per
+    # edge: solvable iff every *undirected* cycle's signed edge sum is
+    # divisible by c, so traverse undirected with signed potentials.
+    undirected: Dict[int, list] = {r: [] for r in graph}
+    for reg, succs in graph.items():
+        for succ in succs:
+            undirected[reg].append((succ, 1))
+            undirected[succ].append((reg, -1))
+    potential: Dict[int, int] = {}
+    g = 0
+    for root in undirected:
+        if root in potential:
+            continue
+        potential[root] = 0
+        stack = [root]
+        while stack:
+            reg = stack.pop()
+            for other, sign in undirected[reg]:
+                expected = potential[reg] + sign
+                if other in potential:
+                    g = math.gcd(g, abs(expected - potential[other]))
+                else:
+                    potential[other] = expected
+                    stack.append(other)
+    return g
+
+
+def infer_cslow_coloring(net: Netlist, c: int) -> Dict[int, int]:
+    """Color registers 0..c-1 so edges advance color by 1 mod c.
+
+    BFS over the register dependency graph; raises
+    :class:`NetlistError` when no consistent coloring exists (e.g. a
+    cycle whose length is not a multiple of ``c``).
+    """
+    if c < 2:
+        raise NetlistError("c-slow abstraction requires c >= 2")
+    if net.latches:
+        raise NetlistError("c-slow abstraction requires a register-based "
+                           "netlist")
+    graph = register_graph(net)
+    # Solve color(s) = color(r) + 1 (mod c) by signed undirected BFS
+    # (successor-only traversal would mis-root joined pipelines whose
+    # free offset must be negative).
+    undirected: Dict[int, list] = {r: [] for r in graph}
+    for reg, succs in graph.items():
+        for succ in succs:
+            undirected[reg].append((succ, 1))
+            undirected[succ].append((reg, -1))
+    colors: Dict[int, int] = {}
+    for root in undirected:
+        if root in colors:
+            continue
+        colors[root] = 0
+        frontier = deque([root])
+        while frontier:
+            reg = frontier.popleft()
+            for other, sign in undirected[reg]:
+                expected = (colors[reg] + sign) % c
+                if other in colors:
+                    if colors[other] != expected:
+                        raise NetlistError(
+                            f"netlist is not {c}-slow: register {other} "
+                            f"needs colors {colors[other]} and {expected}")
+                else:
+                    colors[other] = expected
+                    frontier.append(other)
+    for reg, succs in graph.items():
+        for succ in succs:
+            if (colors[reg] + 1) % c != colors[succ]:
+                raise NetlistError(  # pragma: no cover - BFS validates
+                    f"netlist is not {c}-slow at edge {reg}->{succ}")
+    return colors
+
+
+def cslow_abstract(net: Netlist, c: Optional[int] = None,
+                   keep_color: Optional[int] = None,
+                   name_suffix: str = "cslow") -> TransformResult:
+    """Fold a proper c-slow netlist modulo ``c``.
+
+    ``c=None`` infers the maximal factor via
+    :func:`max_cslow_factor` (raising when no ``c >= 2`` exists).
+    Registers of ``keep_color`` (default 0) survive; all others become
+    transparent buffers of their next-state cones.  Returns a
+    state-folding step with ``factor = c`` (Theorem 3).
+    """
+    if c is None:
+        c = max_cslow_factor(net)
+        if c < 2:
+            raise NetlistError(
+                f"no c-slow factor >= 2 exists (max factor {c})")
+    colors = infer_cslow_coloring(net, c)
+    if keep_color is None:
+        keep_color = 0
+
+    work = net.copy()
+    for vid, color in colors.items():
+        if color == keep_color:
+            continue
+        nxt, _init = work.gate(vid).fanins
+        work.replace_gate(vid, Gate(GateType.BUF, (nxt,),
+                                    work.gate(vid).name))
+    out, mapping = rebuild(work, name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="CSLOW",
+        kind=StepKind.STATE_FOLD,
+        target_map={t: mapping.get(t) for t in net.targets},
+        factor=c,
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)

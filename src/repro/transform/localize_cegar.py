@@ -1,0 +1,124 @@
+"""Counterexample-guided localization refinement.
+
+Section 3.5 establishes that localization's diameter bounds do not
+back-translate — but its *unreachability verdicts* do ("any target
+assessed to be unreachable after overapproximation is guaranteed to be
+unreachable before").  This module combines that one-way soundness
+with the rest of the system into the classic CEGAR loop:
+
+1. keep only the registers within ``radius`` register-levels of the
+   target; localize the rest (they become free inputs);
+2. bound the *abstraction's* diameter structurally — the bound is
+   valid for the abstraction, so a clean BMC window of that depth
+   proves the abstract target unreachable, which transfers to the
+   original netlist;
+3. an abstract counterexample is checked on the original netlist with
+   an exact bounded query; a real hit concludes FALSIFIED, a spurious
+   one widens the radius and repeats.
+
+The loop terminates: the radius eventually restores every register,
+at which point the "abstraction" is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..diameter.structural import StructuralAnalysis
+from ..netlist import Netlist
+from ..unroll import FALSIFIED, PROVEN, bmc
+from .approx import localize_by_distance
+
+#: Loop outcomes.
+REFINED_OUT = "exhausted"  # gave up (depth budget) without an answer
+
+
+@dataclass
+class LocalizationResult:
+    """Outcome of the localization-refinement loop."""
+
+    status: str  # 'proven' | 'falsified' | 'exhausted'
+    iterations: int
+    final_radius: int
+    abstraction: Optional[Netlist] = None
+    abstraction_registers: int = 0
+    history: List[str] = field(default_factory=list)
+    counterexample_depth: Optional[int] = None
+
+
+def localization_refinement(
+    net: Netlist,
+    target: Optional[int] = None,
+    initial_radius: int = 1,
+    max_depth: int = 64,
+    conflict_budget: Optional[int] = None,
+) -> LocalizationResult:
+    """Run the CEGAR loop for one target; see the module docstring."""
+    if target is None:
+        if not net.targets:
+            raise ValueError("netlist has no targets")
+        target = net.targets[0]
+    total_registers = len(net.state_elements)
+    radius = initial_radius
+    iterations = 0
+    history: List[str] = []
+    while True:
+        iterations += 1
+        abstraction_result = localize_by_distance(net, target, radius)
+        abstraction = abstraction_result.netlist
+        abs_target = abstraction_result.step.target_map[target]
+        if abs_target is None:  # pragma: no cover - targets never drop
+            raise RuntimeError("target vanished during localization")
+
+        exact = len(abstraction.state_elements) >= total_registers
+        bound = StructuralAnalysis(abstraction).bound(abs_target)
+        window = min(bound, max_depth)
+        check = bmc(abstraction, abs_target, max_depth=window,
+                    complete_bound=bound if bound <= max_depth else None,
+                    conflict_budget=conflict_budget)
+        history.append(
+            f"radius={radius} regs={len(abstraction.state_elements)}"
+            f"/{total_registers} bound={bound} -> {check.status}")
+
+        if check.status == PROVEN:
+            return LocalizationResult(
+                status="proven", iterations=iterations,
+                final_radius=radius, abstraction=abstraction,
+                abstraction_registers=len(abstraction.state_elements),
+                history=history)
+        if check.status == FALSIFIED:
+            depth = check.counterexample.depth
+            if exact:
+                return LocalizationResult(
+                    status="falsified", iterations=iterations,
+                    final_radius=radius, abstraction=abstraction,
+                    abstraction_registers=len(abstraction.state_elements),
+                    history=history, counterexample_depth=depth)
+            # Concretization check: exact bounded query on the
+            # original netlist at the abstract counterexample depth.
+            concrete = bmc(net, target, max_depth=depth + 1,
+                           conflict_budget=conflict_budget)
+            if concrete.status == FALSIFIED:
+                return LocalizationResult(
+                    status="falsified", iterations=iterations,
+                    final_radius=radius, abstraction=abstraction,
+                    abstraction_registers=len(abstraction.state_elements),
+                    history=history,
+                    counterexample_depth=concrete.counterexample.depth)
+            history.append(f"  spurious at depth {depth}; refining")
+        else:
+            # Window exhausted inconclusively on this abstraction.
+            if exact:
+                return LocalizationResult(
+                    status=REFINED_OUT, iterations=iterations,
+                    final_radius=radius, abstraction=abstraction,
+                    abstraction_registers=len(abstraction.state_elements),
+                    history=history)
+        if exact:
+            return LocalizationResult(
+                status=REFINED_OUT, iterations=iterations,
+                final_radius=radius, abstraction=abstraction,
+                abstraction_registers=len(abstraction.state_elements),
+                history=history)
+        radius += 1

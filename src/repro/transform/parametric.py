@@ -1,0 +1,133 @@
+"""Parametric re-encoding of input cuts (Section 3.1).
+
+"The technique of parametric re-encoding of a netlist [16, 17]
+replaces the fanin cone C of a cut with a trace-equivalent cone C'.
+Such re-encoding preserves trace-equivalence of any vertex set in the
+complement of C."
+
+We implement the surjective special case that dominates practice: when
+the cut functions, viewed over the primary inputs of their (stateless)
+fanin cone, range over *all* of {0,1}^n, the entire cone may be
+replaced by n fresh primary inputs.  Surjectivity is established
+exactly with a BDD range computation; non-surjective cuts are refused
+(a full range-generator synthesis is out of scope and unnecessary for
+the paper's experiments).  The step is trace-equivalence preserving
+(Theorem 1 applies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..bdd import BDD
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import (
+    Gate,
+    GateType,
+    Netlist,
+    NetlistError,
+    rebuild,
+    state_support,
+    topological_order,
+)
+
+
+def cut_is_surjective(net: Netlist, cut: Sequence[int]) -> bool:
+    """True iff the cut functions cover all of {0,1}^len(cut).
+
+    Requires a stateless fanin cone (inputs and constants only).
+    """
+    for vid in cut:
+        if state_support(net, vid):
+            raise NetlistError(
+                "parametric re-encoding requires a stateless cut cone")
+    bdd = BDD()
+    # Dedicated manager: inputs at low levels, cut image vars above.
+    support: List[int] = []
+    for vid in topological_order(net, list(cut)):
+        if net.gate(vid).type is GateType.INPUT:
+            support.append(vid)
+    input_level = {vid: i for i, vid in enumerate(support)}
+    values: Dict[int, object] = {}
+    for vid in topological_order(net, list(cut)):
+        gate = net.gate(vid)
+        t = gate.type
+        if t is GateType.INPUT:
+            values[vid] = bdd.var(input_level[vid])
+            continue
+        if t is GateType.CONST0:
+            values[vid] = bdd.zero
+            continue
+        f = [values[x] for x in gate.fanins]
+        if t is GateType.BUF:
+            values[vid] = f[0]
+        elif t is GateType.NOT:
+            values[vid] = bdd.not_(f[0])
+        elif t is GateType.AND:
+            values[vid] = bdd.and_(*f)
+        elif t is GateType.NAND:
+            values[vid] = bdd.not_(bdd.and_(*f))
+        elif t is GateType.OR:
+            values[vid] = bdd.or_(*f)
+        elif t is GateType.NOR:
+            values[vid] = bdd.not_(bdd.or_(*f))
+        elif t in (GateType.XOR, GateType.XNOR):
+            out = f[0]
+            for g in f[1:]:
+                out = bdd.xor(out, g)
+            values[vid] = out if t is GateType.XOR else bdd.not_(out)
+        elif t is GateType.MUX:
+            values[vid] = bdd.ite(f[0], f[1], f[2])
+        else:  # pragma: no cover
+            raise NetlistError(f"cannot re-encode gate type {t}")
+    n = len(cut)
+    base = len(support)
+    # Range relation R(y) = exists x . AND_i (y_i <-> f_i(x)).
+    relation = bdd.one
+    for i, vid in enumerate(cut):
+        y = bdd.var(base + i)
+        relation = bdd.and_(relation, bdd.equiv(y, values[vid]))
+    image = bdd.exists(range(base), relation)
+    # Surjective iff the image (a function of the y variables only)
+    # is the tautology.
+    return image is bdd.one
+
+
+def parametric_reencode(net: Netlist, cut: Sequence[int],
+                        name_suffix: str = "param") -> TransformResult:
+    """Replace a surjective stateless cut cone by fresh inputs.
+
+    Raises :class:`NetlistError` if the cut range is not all of
+    {0,1}^n (the general range-generator case is not implemented).
+    """
+    # The cone's inputs must be private to the cone: if one also feeds
+    # logic beyond the cut, replacing the cut would sever a correlation
+    # and the result would not be trace-equivalent.
+    from ..netlist import cone_of_influence
+
+    cone = cone_of_influence(net, cut)
+    cut_set = set(cut)
+    fanouts = net.fanout_map()
+    for vid in cone:
+        if vid in cut_set or net.gate(vid).type is GateType.CONST0:
+            continue
+        for reader in fanouts[vid]:
+            if reader not in cone:
+                raise NetlistError(
+                    f"cone vertex {vid} feeds logic outside the cut; "
+                    f"re-encoding would break a correlation")
+    if not cut_is_surjective(net, cut):
+        raise NetlistError(
+            "cut range is a strict subset of {0,1}^n; refusing the "
+            "(unsound) naive replacement")
+    work = net.copy()
+    for vid in cut:
+        gate = work.gate(vid)
+        work.replace_gate(vid, Gate(GateType.INPUT, (), gate.name))
+    out, mapping = rebuild(work, name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="PARAM",
+        kind=StepKind.TRACE_EQUIVALENT,
+        target_map={t: mapping.get(t) for t in net.targets},
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)

@@ -1,0 +1,107 @@
+"""Phase abstraction of latch-based netlists (Section 3.3).
+
+"Phase abstraction [10, 17] is a technique to yield a register-based
+netlist from one composed of level-sensitive latches ... applicable to
+netlists in which the state elements may be c-colored such that state
+elements of color i may only combinationally fan out to state elements
+of color (i + 1) mod c."
+
+We reproduce the clock-driven variant: each latch's clock edge must
+resolve to one of ``c`` global phase-clock primary inputs; the latch's
+color is its clock index.  Latches of the kept color (the last phase)
+become registers clocked once per folded step; latches of other colors
+become transparent buffers of their data cones; the clock inputs
+disappear.  The resulting netlist folds time modulo ``c``, so by
+Theorem 3 a diameter bound ``d`` on it yields ``c * d`` on the
+original.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import (
+    Gate,
+    GateType,
+    Netlist,
+    NetlistError,
+    rebuild,
+    state_support,
+)
+
+
+def infer_latch_colors(net: Netlist) -> Dict[int, int]:
+    """Color latches by their clock input, validating the c-coloring.
+
+    Requires every latch clock to be (a buffer chain to) a primary
+    input; clock inputs are ordered by vertex id, and the coloring must
+    satisfy: latches of color ``i`` only combinationally fan out to
+    latches of color ``(i + 1) mod c``.
+    """
+    clocks: List[int] = []
+    color_of: Dict[int, int] = {}
+    for vid in net.latches:
+        clock = net.gate(vid).fanins[1]
+        while net.gate(clock).type is GateType.BUF:
+            clock = net.gate(clock).fanins[0]
+        if net.gate(clock).type is not GateType.INPUT:
+            raise NetlistError(
+                f"latch {vid} clock is not a phase input; cannot "
+                f"phase-abstract")
+        if clock not in clocks:
+            clocks.append(clock)
+        color_of[vid] = clocks.index(clock)
+    c = len(clocks)
+    if c == 0:
+        raise NetlistError("netlist has no latches to phase-abstract")
+    for vid in net.latches:
+        data = net.gate(vid).fanins[0]
+        for dep in state_support(net, data):
+            if net.gate(dep).type is GateType.LATCH:
+                if c == 1:
+                    raise NetlistError(
+                        "single-phase latch-to-latch path: transparency "
+                        "cannot be phase-abstracted")
+                expected = (color_of[dep] + 1) % c
+                if color_of[vid] != expected:
+                    raise NetlistError(
+                        f"latch coloring violated: color-{color_of[dep]} "
+                        f"latch feeds color-{color_of[vid]} latch")
+    return color_of
+
+
+def phase_abstract(net: Netlist,
+                   keep_color: Optional[int] = None,
+                   name_suffix: str = "phase") -> TransformResult:
+    """Phase-abstract a latch-based netlist into a register netlist.
+
+    ``keep_color`` selects the phase whose latches become registers
+    (default: the highest color, i.e. the last phase of the folded
+    step).  Returns a state-folding step with ``factor = c``.
+    """
+    colors = infer_latch_colors(net)
+    c = max(colors.values()) + 1
+    if keep_color is None:
+        keep_color = c - 1
+
+    work = net.copy()
+    const0 = work.const0()
+    for vid in net.latches:
+        data, _clock = work.gate(vid).fanins
+        if colors[vid] == keep_color:
+            # Kept latch -> register sampling its (now transparent)
+            # data cone once per folded step; latches initialize to 0.
+            work.replace_gate(vid, Gate(GateType.REGISTER, (data, const0),
+                                        work.gate(vid).name))
+        else:
+            work.replace_gate(vid, Gate(GateType.BUF, (data,),
+                                        work.gate(vid).name))
+    out, mapping = rebuild(work, name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="PHASE",
+        kind=StepKind.STATE_FOLD,
+        target_map={t: mapping.get(t) for t in net.targets},
+        factor=c,
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)

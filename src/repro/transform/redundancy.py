@@ -1,0 +1,281 @@
+"""COM: redundancy removal by inductive SAT sweeping (Section 3.1).
+
+"The idea of this approach is to attempt to identify two semantically-
+equivalent vertices u and v; when two such vertices are found, all
+fanout edges from v are moved to u ... Identification of semantically-
+equivalent vertices may be performed efficiently by structural analysis
+or by BDD and SAT sweeping with no need to analyze the state space of
+the netlist."
+
+The engine reproduced here follows the classic van Eijk scheme:
+
+1. ternary constant propagation seeds constant merges,
+2. random simulation from the initial states partitions vertices into
+   candidate equivalence classes,
+3. the candidate relation is refined to an inductive fixpoint — assume
+   all candidates equal on a free current frame, require each pair
+   equal on the next frame (SAT); failures split their class — and
+   checked on an initial-state-constrained base frame,
+4. surviving classes are merged onto their topologically-shallowest
+   representative and the netlist is rebuilt (hash-consing doubles as
+   the structural-analysis merge pass).
+
+Redundancy removal preserves the semantics of every retained vertex,
+so by Theorem 1 diameter bounds carry over unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import (
+    GateType,
+    Netlist,
+    combinational_fanins,
+    rebuild,
+    topological_order,
+)
+from ..sat import UNSAT, CnfSink, Solver, encode_frame, \
+    encode_init_state, encode_mux, lit_not, pos
+from ..sim import constant_state_elements, random_signatures
+
+
+@dataclass
+class SweepConfig:
+    """Tunables for the sweeping engine.
+
+    ``max_rounds`` caps the inductive refinement; the refinement must
+    reach a *fixpoint* for the surviving merges to be sound (each
+    survivor's proof assumes the other candidates), so if the cap is
+    hit while classes are still splitting, ALL remaining candidate
+    classes are discarded.  ``None`` (the default) iterates to the
+    fixpoint, which is reached after at most one round per candidate
+    pair.
+    """
+
+    sim_cycles: int = 16
+    sim_width: int = 64
+    seed: int = 2004
+    conflict_budget: int = 2000
+    max_rounds: Optional[int] = None
+    max_class_size: int = 64
+
+
+def _levels(net: Netlist) -> Dict[int, int]:
+    levels: Dict[int, int] = {}
+    for vid in topological_order(net):
+        fanins = combinational_fanins(net, vid)
+        levels[vid] = 0 if not fanins else 1 + max(
+            levels[f] for f in fanins)
+    return levels
+
+
+class _InductiveChecker:
+    """SAT checks for the induction step and the initial-state base."""
+
+    def __init__(self, net: Netlist, config: SweepConfig) -> None:
+        self.net = net
+        self.config = config
+        # Step model: frame 0 with free leaves feeding frame 1.
+        self.step_solver = Solver()
+        sink = CnfSink(self.step_solver)
+        state0 = {vid: pos(self.step_solver.new_var())
+                  for vid in net.state_elements}
+        self.frame0 = encode_frame(net, sink, dict(state0))
+        state1: Dict[int, int] = {}
+        for vid in net.state_elements:
+            gate = net.gate(vid)
+            if gate.type is GateType.REGISTER:
+                state1[vid] = self.frame0[gate.fanins[0]]
+            else:
+                data, clock = gate.fanins
+                out = pos(self.step_solver.new_var())
+                encode_mux(sink, out, self.frame0[clock],
+                           self.frame0[data], self.frame0[vid])
+                state1[vid] = out
+        self.frame1 = encode_frame(net, sink, state1)
+        # Base model: single frame constrained to the initial states.
+        self.base_solver = Solver()
+        base_sink = CnfSink(self.base_solver)
+        base_state = {vid: pos(self.base_solver.new_var())
+                      for vid in net.state_elements}
+        encode_init_state(net, base_sink, base_state)
+        self.base_frame = encode_frame(net, base_sink, dict(base_state))
+
+    def assume_lits(self, classes: List[List[int]]) -> List[int]:
+        """Assumption literals asserting all candidate pairs equal on
+        frame 0 (via fresh equality indicators)."""
+        sink = CnfSink(self.step_solver)
+        assumptions = []
+        for cls in classes:
+            rep = cls[0]
+            for other in cls[1:]:
+                eq = pos(self.step_solver.new_var())
+                a, b = self.frame0[rep], self.frame0[other]
+                # eq -> (a <-> b)
+                sink.add_clause([lit_not(eq), lit_not(a), b])
+                sink.add_clause([lit_not(eq), a, lit_not(b)])
+                assumptions.append(eq)
+        return assumptions
+
+    def pair_holds_inductively(self, a: int, b: int,
+                               assumptions: List[int]) -> bool:
+        """UNSAT of ``assumptions AND frame1[a] != frame1[b]``."""
+        solver = self.step_solver
+        diff = pos(solver.new_var())
+        la, lb = self.frame1[a], self.frame1[b]
+        sink = CnfSink(solver)
+        # diff -> (a xor b)  (one direction suffices for the query)
+        sink.add_clause([lit_not(diff), la, lb])
+        sink.add_clause([lit_not(diff), lit_not(la), lit_not(lb)])
+        result = solver.solve(assumptions + [diff],
+                              conflict_budget=self.config.conflict_budget)
+        return result == UNSAT
+
+    def pair_holds_at_init(self, a: int, b: int) -> bool:
+        """UNSAT of ``Z AND base[a] != base[b]``."""
+        solver = self.base_solver
+        diff = pos(solver.new_var())
+        la, lb = self.base_frame[a], self.base_frame[b]
+        sink = CnfSink(solver)
+        sink.add_clause([lit_not(diff), la, lb])
+        sink.add_clause([lit_not(diff), lit_not(la), lit_not(lb)])
+        result = solver.solve([diff],
+                              conflict_budget=self.config.conflict_budget)
+        return result == UNSAT
+
+
+def _candidate_classes(net: Netlist, config: SweepConfig,
+                       roots: Set[int]) -> List[List[int]]:
+    signatures = random_signatures(net, cycles=config.sim_cycles,
+                                   width=config.sim_width, seed=config.seed)
+    classes: Dict[Tuple[int, ...], List[int]] = {}
+    for vid, sig in signatures.items():
+        if vid in roots:
+            classes.setdefault(sig, []).append(vid)
+    out = []
+    for members in classes.values():
+        members.sort()
+        if len(members) > 1:
+            out.append(members[:config.max_class_size])
+    return out
+
+
+def redundancy_removal(
+    net: Netlist,
+    config: Optional[SweepConfig] = None,
+    name_suffix: str = "com",
+) -> TransformResult:
+    """Apply the COM redundancy-removal engine to ``net``.
+
+    Returns a :class:`TransformResult` whose step is trace-equivalence
+    preserving (Theorem 1): the diameter bound of any retained vertex
+    set is unchanged.
+    """
+    config = config or SweepConfig()
+    substitution: Dict[int, int] = {}
+
+    # Phase 1: ternary constants (state elements stuck at a constant).
+    const_map = constant_state_elements(net)
+    work = net
+    if const_map:
+        base = net.copy()
+        c0 = base.const0()
+        c1_candidates = [v for v, g in base.gates()
+                         if g.type is GateType.NOT and g.fanins == (c0,)]
+        c1 = c1_candidates[0] if c1_candidates else base.add_gate(
+            GateType.NOT, (c0,))
+        substitution = {vid: (c1 if value else c0)
+                        for vid, value in const_map.items()}
+        work = base
+
+    # Phase 2/3: simulation candidates refined to an inductive fixpoint.
+    in_cone = set(work)
+    classes = _candidate_classes(work, config, in_cone)
+    if classes:
+        checker = _InductiveChecker(work, config)
+        # The refinement removes at least one candidate pair per
+        # changing round, so the fixpoint arrives within `total pairs`
+        # rounds; an explicit cap (if configured) is a resource valve.
+        total_pairs = sum(len(cls) - 1 for cls in classes)
+        limit = total_pairs + 1 if config.max_rounds is None \
+            else config.max_rounds
+        converged = False
+        for _ in range(limit):
+            assumptions = checker.assume_lits(classes)
+            new_classes: List[List[int]] = []
+            changed = False
+            for cls in classes:
+                rep = cls[0]
+                kept = [rep]
+                rest = []
+                for other in cls[1:]:
+                    if checker.pair_holds_inductively(rep, other,
+                                                      assumptions):
+                        kept.append(other)
+                    else:
+                        rest.append(other)
+                        changed = True
+                if len(kept) > 1:
+                    new_classes.append(kept)
+                if len(rest) > 1:
+                    new_classes.append(rest)
+            classes = new_classes
+            if not changed:
+                converged = True
+                break
+        if not converged:
+            # Unconverged survivors were only proven under assumptions
+            # that may since have been refuted: merging them would be
+            # unsound.  Drop everything.
+            classes = []
+        # Base case: equivalence must also hold in the initial states.
+        verified: List[List[int]] = []
+        for cls in classes:
+            rep = cls[0]
+            kept = [rep]
+            for other in cls[1:]:
+                if checker.pair_holds_at_init(rep, other):
+                    kept.append(other)
+            if len(kept) > 1:
+                verified.append(kept)
+        levels = _levels(work)
+
+        def rep_key(v: int):
+            gate = work.gate(v)
+            is_const = gate.type is GateType.CONST0 or (
+                gate.type is GateType.NOT
+                and work.gate(gate.fanins[0]).type is GateType.CONST0)
+            return (0 if is_const else 1, levels.get(v, 0), v)
+
+        def resolves_to(v: int) -> int:
+            seen = set()
+            while v in substitution and v not in seen:
+                seen.add(v)
+                v = substitution[v]
+            return v
+
+        for cls in verified:
+            rep = min(cls, key=rep_key)
+            for other in cls:
+                if other == rep or other in substitution:
+                    continue
+                if resolves_to(rep) == other:
+                    continue  # would create a substitution cycle
+                substitution[other] = rep
+
+    out, mapping = rebuild(work, substitution=substitution,
+                           name=f"{net.name}-{name_suffix}")
+    if work is not net:
+        # Compose the original-vid -> copy-vid identity (copy preserves
+        # ids) with the rebuild mapping; ids are stable across copy().
+        pass
+    target_map = {t: mapping.get(t) for t in net.targets}
+    step = TransformStep(
+        name="COM",
+        kind=StepKind.TRACE_EQUIVALENT,
+        target_map=target_map,
+    )
+    return TransformResult(netlist=out, step=step, mapping=mapping)

@@ -1,0 +1,65 @@
+"""STRASH: structural redundancy removal through an AIG round-trip.
+
+Section 3.1 notes that semantically-equivalent vertices "may be
+performed efficiently by structural analysis or by BDD and SAT
+sweeping".  This is the *structural analysis* half: the netlist is
+normalized into an and-inverter graph with complemented edges, where
+hash-consing merges everything that is structurally identical modulo
+inverter placement and De Morgan duality (e.g. ``NAND(a, b)`` and
+``NOT(AND(b, a))``, or ``NOR`` vs ``AND`` of complements) — strictly
+more merging than the gate-level hash-consing of
+:func:`repro.netlist.rebuild.rebuild`, at a fraction of the cost of
+the inductive SAT sweep.  Trace-equivalence preserving (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from ..core.record import StepKind, TransformResult, TransformStep
+from ..netlist import Netlist, aig_to_netlist, netlist_to_aig, rebuild
+
+
+def strash(net: Netlist, name_suffix: str = "strash") -> TransformResult:
+    """Normalize ``net`` through an AIG and back.
+
+    Requires a register-based netlist with constant initial values
+    (the AIG restrictions); raises
+    :class:`~repro.netlist.types.NetlistError` otherwise.
+    """
+    aig, lit_of = netlist_to_aig(net)
+    back, vertex_of = aig_to_netlist(aig)
+
+    # aig_to_netlist adopts AIG outputs as targets/outputs; rebuild the
+    # original target/output lists instead so the step maps cleanly.
+    def map_vertex(vid: int) -> int:
+        lit = lit_of[vid]
+        base = vertex_of[lit >> 1]
+        if lit & 1:
+            # Complemented: the netlist-side NOT may or may not exist;
+            # create it deterministically.
+            from ..netlist import GateType
+
+            for fanout, gate in back.gates():
+                if gate.type is GateType.NOT and gate.fanins == (base,):
+                    return fanout
+            return back.add_gate(GateType.NOT, (base,))
+        return base
+
+    back.targets = []
+    back.outputs = []
+    mapped = {}
+    for t in net.targets:
+        mapped[t] = map_vertex(t)
+        back.add_target(mapped[t])
+    for o in net.outputs:
+        if o not in mapped:
+            mapped[o] = map_vertex(o)
+        back.add_output(mapped[o])
+    out, remap = rebuild(back, name=f"{net.name}-{name_suffix}")
+    step = TransformStep(
+        name="STRASH",
+        kind=StepKind.TRACE_EQUIVALENT,
+        target_map={t: remap.get(mapped[t]) for t in net.targets},
+    )
+    mapping = {vid: remap[new] for vid, new in mapped.items()
+               if new in remap}
+    return TransformResult(netlist=out, step=step, mapping=mapping)

@@ -1,0 +1,90 @@
+"""Time-frame expansion of netlists into an incremental SAT solver.
+
+:class:`Unrolling` lazily encodes frames 0, 1, 2, ... of a netlist.
+Frame ``t`` exposes a literal for every vertex at time ``t``; state
+literals at the frame boundaries are chained through register next
+edges and latch hold-muxes.  The initial state can be constrained to
+``Z`` (for BMC) or left free (for recurrence-diameter and induction
+queries).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..netlist import GateType, Netlist
+from ..sat import CnfSink, Solver, encode_frame, encode_init_state, \
+    encode_mux, pos
+
+
+class Unrolling:
+    """Incrementally unrolled transition structure in a SAT solver."""
+
+    def __init__(
+        self,
+        net: Netlist,
+        solver: Optional[Solver] = None,
+        constrain_init: bool = True,
+    ) -> None:
+        self.net = net
+        self.solver = solver or Solver()
+        self.sink = CnfSink(self.solver)
+        self.constrain_init = constrain_init
+        #: per-frame vertex -> literal maps
+        self.frames: List[Dict[int, int]] = []
+        #: state literals at each frame boundary (index 0 = initial)
+        self.state_lits: List[Dict[int, int]] = []
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        state0 = {vid: pos(self.solver.new_var())
+                  for vid in self.net.state_elements}
+        self.state_lits.append(state0)
+        if self.constrain_init:
+            encode_init_state(self.net, self.sink, state0)
+
+    def frame(self, t: int) -> Dict[int, int]:
+        """Literal map of frame ``t``, encoding frames up to ``t``."""
+        while len(self.frames) <= t:
+            self._encode_next_frame()
+        return self.frames[t]
+
+    def _encode_next_frame(self) -> None:
+        t = len(self.frames)
+        leaves = dict(self.state_lits[t])
+        lits = encode_frame(self.net, self.sink, leaves)
+        self.frames.append(lits)
+        nxt: Dict[int, int] = {}
+        for vid in self.net.state_elements:
+            gate = self.net.gate(vid)
+            if gate.type is GateType.REGISTER:
+                nxt[vid] = lits[gate.fanins[0]]
+            else:
+                data, clock = gate.fanins
+                out = pos(self.solver.new_var())
+                encode_mux(self.sink, out, lits[clock], lits[data],
+                           lits[vid])
+                nxt[vid] = out
+        self.state_lits.append(nxt)
+
+    def literal(self, vid: int, t: int) -> int:
+        """The literal of vertex ``vid`` at time ``t``."""
+        return self.frame(t)[vid]
+
+    def input_values(self, model: List[bool], t: int) -> Dict[int, int]:
+        """Decode primary-input values at frame ``t`` from a model."""
+        lits = self.frame(t)
+        out = {}
+        for vid in self.net.inputs:
+            lit = lits[vid]
+            val = model[lit >> 1]
+            out[vid] = int(val if not (lit & 1) else not val)
+        return out
+
+    def state_values(self, model: List[bool], t: int) -> Dict[int, int]:
+        """Decode state-element values at frame boundary ``t``."""
+        out = {}
+        for vid, lit in self.state_lits[t].items():
+            val = model[lit >> 1]
+            out[vid] = int(val if not (lit & 1) else not val)
+        return out

@@ -1,0 +1,129 @@
+"""Integration tests: realistic protocol workloads end to end.
+
+The properties here are genuine safety invariants (one-hot grants,
+flag consistency, credit conservation); each is validated against the
+exact oracle and then discharged with the library's engines.
+"""
+
+import pytest
+
+from repro.core import PROVEN, TBVEngine, prove
+from repro.diameter import first_hit_time, structural_diameter_bound
+from repro.gen.protocols import (
+    credit_channel,
+    fifo_with_flags,
+    round_robin_arbiter,
+)
+from repro.transform import SweepConfig
+from repro.unroll import PROVEN as BMC_PROVEN, bmc, k_induction
+
+FAST = SweepConfig(sim_cycles=8, sim_width=32, conflict_budget=400)
+
+
+class TestArbiter:
+    def test_property_truly_unreachable(self):
+        net, violation = round_robin_arbiter(3)
+        assert first_hit_time(net, violation) is None
+
+    def test_grants_actually_happen(self):
+        from repro.sim import BitParallelSimulator
+
+        net, violation = round_robin_arbiter(3)
+        sim = BitParallelSimulator(net)
+        gnt0 = net.by_name("gnt0")
+        trace = sim.run(4, lambda v, c: 1, observe=[gnt0])
+        assert 1 in trace[gnt0]
+
+    def test_rotation_is_fair(self):
+        from repro.sim import BitParallelSimulator
+
+        net, violation = round_robin_arbiter(3)
+        sim = BitParallelSimulator(net)
+        gnts = [net.by_name(f"gnt{k}") for k in range(3)]
+        trace = sim.run(6, lambda v, c: 1, observe=gnts)
+        # With everyone requesting, each client is granted twice in six
+        # cycles (perfect rotation).
+        for g in gnts:
+            assert sum(trace[g]) == 2
+
+    def test_discharged_by_prove(self):
+        net, violation = round_robin_arbiter(3)
+        result = prove(net, violation, sweep_config=FAST,
+                       max_complete_depth=40, induction_k=4)
+        assert result.status == "proven"
+
+    def test_bounded_proof_via_diameter(self):
+        net, violation = round_robin_arbiter(2)
+        bound = structural_diameter_bound(net, violation)
+        if bound <= 64:
+            check = bmc(net, violation, max_depth=bound,
+                        complete_bound=bound)
+            assert check.status == BMC_PROVEN
+
+
+class TestFifo:
+    def test_flags_never_conflict(self):
+        net, violation = fifo_with_flags(depth=3, width=1)
+        assert first_hit_time(net, violation) is None
+
+    def test_full_reachable(self):
+        # Sanity: the full flag itself is reachable (push-only run).
+        from repro.sim import BitParallelSimulator
+
+        net, violation = fifo_with_flags(depth=2, width=1)
+        sim = BitParallelSimulator(net)
+        full = net.by_name("full")
+        push = net.by_name("push")
+        trace = sim.run(5, lambda v, c: 1 if v == push else 0,
+                        observe=[full])
+        assert 1 in trace[full]
+
+    def test_k_induction_proves_flag_property(self):
+        net, violation = fifo_with_flags(depth=2, width=1)
+        result = k_induction(net, violation, max_k=6)
+        assert result.status == BMC_PROVEN
+
+    def test_engine_bounds_are_sound(self):
+        net, violation = fifo_with_flags(depth=2, width=2)
+        report = TBVEngine("COM,RET,COM",
+                           sweep_config=FAST).run(net).reports[0]
+        hit = first_hit_time(net, violation)
+        if report.status == PROVEN:
+            assert hit is None
+        elif hit is not None:
+            assert hit < report.bound
+
+
+class TestCreditChannel:
+    def test_conservation_truly_holds(self):
+        net, violation = credit_channel(credits=2)
+        assert first_hit_time(net, violation) is None
+
+    def test_sends_happen_and_credits_return(self):
+        from repro.sim import BitParallelSimulator
+
+        net, violation = credit_channel(credits=2)
+        sim = BitParallelSimulator(net)
+        send = net.by_name("send")
+        back = net.by_name("credit_back")
+        trace = sim.run(6, lambda v, c: 1, observe=[send, back])
+        assert 1 in trace[send]
+        assert 1 in trace[back]
+
+    def test_discharged_by_prove(self):
+        net, violation = credit_channel(credits=2)
+        result = prove(net, violation, sweep_config=FAST,
+                       max_complete_depth=40, induction_k=6)
+        assert result.status == "proven"
+
+    def test_starvation_without_returns_would_violate_liveness_not_safety(
+            self):
+        # Drive want_send always, verify credits bottom out (send goes
+        # quiet) without ever violating the safety target.
+        from repro.sim import BitParallelSimulator
+
+        net, violation = credit_channel(credits=1)
+        sim = BitParallelSimulator(net)
+        send = net.by_name("send")
+        trace = sim.run(8, lambda v, c: 1, observe=[send, violation])
+        assert all(v == 0 for v in trace[violation])

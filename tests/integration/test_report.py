@@ -1,0 +1,28 @@
+"""Integration test for the markdown report generator."""
+
+from repro.experiments.report import generate_report, main
+
+
+class TestReport:
+    def test_generate_report_content(self):
+        report = generate_report(scale=1.0, max_registers=None,
+                                 designs_t1=["S27"],
+                                 designs_t2=["W_SFA"])
+        assert "# Experimental report" in report
+        assert "Table 1" in report and "Table 2" in report
+        assert "Headline shape" in report
+        assert "paper full-scale" in report
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        rc = main(["--out", str(out), "--designs-t1", "S27",
+                   "--designs-t2", "W_SFA", "--scale", "1.0"])
+        assert rc == 0
+        assert out.exists()
+        assert "Σ" in out.read_text()
+
+    def test_main_stdout(self, capsys):
+        rc = main(["--designs-t1", "S27", "--designs-t2", "W_SFA",
+                   "--scale", "1.0"])
+        assert rc == 0
+        assert "Experimental report" in capsys.readouterr().out

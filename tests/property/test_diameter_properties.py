@@ -1,0 +1,76 @@
+"""Property tests: every diameter bound dominates exact ground truth.
+
+The central soundness contract of the whole system: for any netlist and
+any hittable target, a clean BMC window of ``bound`` time-steps finds
+the hit — i.e. ``first_hit_time(t) < bound``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.diameter import (
+    first_hit_time,
+    initial_depth,
+    recurrence_diameter,
+    state_diameter,
+    structural_diameter_bound,
+)
+
+from .strategies import small_netlists
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow,
+                                           HealthCheck.data_too_large])
+
+
+@SETTINGS
+@given(small_netlists())
+def test_structural_bound_dominates_first_hit(net):
+    target = net.targets[0]
+    hit = first_hit_time(net, target)
+    if hit is not None:
+        bound = structural_diameter_bound(net, target)
+        assert hit < bound
+
+
+@SETTINGS
+@given(small_netlists(max_registers=3, max_inputs=2))
+def test_recurrence_bound_dominates_first_hit(net):
+    target = net.targets[0]
+    hit = first_hit_time(net, target)
+    result = recurrence_diameter(net, max_k=40)
+    if hit is not None and result.exact:
+        assert hit < result.bound
+
+
+@SETTINGS
+@given(small_netlists(max_registers=3, max_inputs=2))
+def test_anchored_recurrence_tighter_than_free(net):
+    free = recurrence_diameter(net, from_init=False, max_k=40)
+    anchored = recurrence_diameter(net, from_init=True, max_k=40)
+    if free.exact and anchored.exact:
+        assert anchored.bound <= free.bound
+
+
+@SETTINGS
+@given(small_netlists(max_registers=3))
+def test_initial_depth_bounded_by_state_diameter(net):
+    assert initial_depth(net) <= state_diameter(net)
+
+
+@SETTINGS
+@given(small_netlists(max_registers=3, max_inputs=2))
+def test_first_hit_within_initial_depth(net):
+    target = net.targets[0]
+    hit = first_hit_time(net, target)
+    if hit is not None:
+        assert hit < initial_depth(net)
+
+
+@SETTINGS
+@given(small_netlists(max_registers=3, max_inputs=2))
+def test_recurrence_dominates_initial_depth(net):
+    # The recurrence bound covers every simple path, hence every
+    # shortest path from the initial states.
+    result = recurrence_diameter(net, from_init=True, max_k=60)
+    if result.exact:
+        assert initial_depth(net) <= result.bound

@@ -1,0 +1,152 @@
+"""Property tests for the SAT solver and BDD package against oracles."""
+
+import itertools
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDD
+from repro.sat import SAT, UNSAT, Solver, lit_sign, lit_var, neg, pos
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def cnf_instances(draw):
+    num_vars = draw(st.integers(2, 7))
+    num_clauses = draw(st.integers(1, 24))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(1, min(3, num_vars)))
+        vs = draw(st.lists(st.integers(0, num_vars - 1), min_size=width,
+                           max_size=width, unique=True))
+        clauses.append([pos(v) if draw(st.booleans()) else neg(v)
+                        for v in vs])
+    return num_vars, clauses
+
+
+def brute_force(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[lit_var(l)] != lit_sign(l) for l in c)
+               for c in clauses):
+            return True
+    return False
+
+
+@SETTINGS
+@given(cnf_instances())
+def test_solver_agrees_with_brute_force(instance):
+    num_vars, clauses = instance
+    solver = Solver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    result = solver.solve()
+    assert result == (SAT if brute_force(num_vars, clauses) else UNSAT)
+    if result == SAT:
+        for clause in clauses:
+            assert any(solver.model[lit_var(l)] != lit_sign(l)
+                       for l in clause)
+
+
+@SETTINGS
+@given(cnf_instances(), st.data())
+def test_solver_assumptions_consistent(instance, data):
+    num_vars, clauses = instance
+    solver = Solver()
+    for _ in range(num_vars):
+        solver.new_var()
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    assumed_var = data.draw(st.integers(0, num_vars - 1))
+    phase = data.draw(st.booleans())
+    lit = pos(assumed_var) if phase else neg(assumed_var)
+    result = solver.solve([lit])
+    expected = brute_force(num_vars, clauses + [[lit]])
+    assert result == (SAT if expected else UNSAT)
+    if result == SAT:
+        assert solver.model[assumed_var] == phase
+
+
+# ----------------------------------------------------------------------
+# BDD properties: random expressions vs direct evaluation.
+# ----------------------------------------------------------------------
+_EXPR = st.recursive(
+    st.integers(0, 3).map(lambda v: ("var", v)),
+    lambda children: st.one_of(
+        st.tuples(st.just("not"), children),
+        st.tuples(st.just("and"), children, children),
+        st.tuples(st.just("or"), children, children),
+        st.tuples(st.just("xor"), children, children),
+    ),
+    max_leaves=12,
+)
+
+
+def _build(bdd, expr):
+    if expr[0] == "var":
+        return bdd.var(expr[1])
+    if expr[0] == "not":
+        return bdd.not_(_build(bdd, expr[1]))
+    a = _build(bdd, expr[1])
+    c = _build(bdd, expr[2])
+    return {"and": bdd.and_, "or": bdd.or_, "xor": bdd.xor}[expr[0]](a, c)
+
+
+def _eval(expr, env):
+    if expr[0] == "var":
+        return env[expr[1]]
+    if expr[0] == "not":
+        return not _eval(expr[1], env)
+    a = _eval(expr[1], env)
+    c = _eval(expr[2], env)
+    return {"and": a and c, "or": a or c, "xor": a != c}[expr[0]]
+
+
+@SETTINGS
+@given(_EXPR)
+def test_bdd_matches_direct_evaluation(expr):
+    bdd = BDD()
+    node = _build(bdd, expr)
+    for bits in itertools.product([False, True], repeat=4):
+        env = dict(enumerate(bits))
+        assert bdd.evaluate(node, env) == _eval(expr, env)
+
+
+@SETTINGS
+@given(_EXPR, _EXPR)
+def test_bdd_canonicity(e1, e2):
+    # Semantically equal functions share the identical node.
+    bdd = BDD()
+    n1 = _build(bdd, e1)
+    n2 = _build(bdd, e2)
+    equal = all(
+        _eval(e1, dict(enumerate(bits))) == _eval(e2, dict(enumerate(bits)))
+        for bits in itertools.product([False, True], repeat=4))
+    assert (n1 is n2) == equal
+
+
+@SETTINGS
+@given(_EXPR, st.integers(0, 3))
+def test_bdd_exists_is_disjunction_of_cofactors(expr, var):
+    bdd = BDD()
+    node = _build(bdd, expr)
+    ex = bdd.exists([var], node)
+    for bits in itertools.product([False, True], repeat=4):
+        env = dict(enumerate(bits))
+        lo = _eval(expr, {**env, var: False})
+        hi = _eval(expr, {**env, var: True})
+        assert bdd.evaluate(ex, env) == (lo or hi)
+
+
+@SETTINGS
+@given(_EXPR)
+def test_bdd_sat_count_matches_enumeration(expr):
+    bdd = BDD()
+    node = _build(bdd, expr)
+    expected = sum(
+        _eval(expr, dict(enumerate(bits)))
+        for bits in itertools.product([False, True], repeat=4))
+    assert bdd.sat_count(node, 4) == expected

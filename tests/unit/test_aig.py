@@ -1,0 +1,176 @@
+"""Unit tests for the AIG package and netlist conversions."""
+
+import itertools
+
+import pytest
+
+from repro.netlist import (
+    AIG,
+    FALSE,
+    TRUE,
+    GateType,
+    NetlistBuilder,
+    NetlistError,
+    aig_complemented,
+    aig_node,
+    aig_not,
+    aig_to_netlist,
+    netlist_to_aig,
+    s27,
+)
+from repro.sim import BitParallelSimulator
+
+
+class TestLiterals:
+    def test_constants(self):
+        assert aig_not(FALSE) == TRUE
+        assert aig_node(TRUE) == 0
+        assert aig_complemented(TRUE)
+        assert not aig_complemented(FALSE)
+
+
+class TestAIGConstruction:
+    def test_and_truth_table(self):
+        aig = AIG()
+        a = aig.add_input("a")
+        b = aig.add_input("b")
+        g = aig.add_and(a, b)
+        for va, vb in itertools.product([0, 1], repeat=2):
+            values, _ = aig.evaluate({aig_node(a): va, aig_node(b): vb})
+            assert aig.lit_value(values, g) == (va & vb)
+
+    def test_strash_shares_nodes(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        assert aig.add_and(a, b) == aig.add_and(b, a)
+        assert aig.num_ands() == 1
+
+    def test_local_simplification(self):
+        aig = AIG()
+        a = aig.add_input()
+        assert aig.add_and(a, TRUE) == a
+        assert aig.add_and(a, FALSE) == FALSE
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, aig_not(a)) == FALSE
+
+    def test_or_xor_mux_semantics(self):
+        aig = AIG()
+        a = aig.add_input()
+        b = aig.add_input()
+        s = aig.add_input()
+        f_or = aig.add_or(a, b)
+        f_xor = aig.add_xor(a, b)
+        f_mux = aig.add_mux(s, a, b)
+        for va, vb, vs in itertools.product([0, 1], repeat=3):
+            values, _ = aig.evaluate({aig_node(a): va, aig_node(b): vb,
+                                      aig_node(s): vs})
+            assert aig.lit_value(values, f_or) == (va | vb)
+            assert aig.lit_value(values, f_xor) == (va ^ vb)
+            assert aig.lit_value(values, f_mux) == (va if vs else vb)
+
+    def test_latch_sequencing(self):
+        aig = AIG()
+        lat = aig.add_latch(0, "r")
+        aig.set_next(lat, aig_not(lat))  # toggler
+        state = None
+        seen = []
+        for _ in range(4):
+            values, nxt = aig.evaluate({}, state)
+            seen.append(aig.lit_value(values, lat))
+            state = nxt
+        assert seen == [0, 1, 0, 1]
+
+    def test_latch_init_one(self):
+        aig = AIG()
+        lat = aig.add_latch(1)
+        aig.set_next(lat, lat)
+        values, _ = aig.evaluate({})
+        assert aig.lit_value(values, lat) == 1
+
+    def test_bad_latch_init_rejected(self):
+        with pytest.raises(NetlistError):
+            AIG().add_latch(2)
+
+    def test_set_next_on_non_latch_rejected(self):
+        aig = AIG()
+        a = aig.add_input()
+        with pytest.raises(NetlistError):
+            aig.set_next(a, FALSE)
+
+    def test_unknown_literal_rejected(self):
+        aig = AIG()
+        with pytest.raises(NetlistError):
+            aig.add_and(2, 99)
+
+
+class TestConversions:
+    def test_round_trip_s27_behaviour(self):
+        net = s27()
+        aig, lit_of = netlist_to_aig(net)
+        back, vertex_of = aig_to_netlist(aig)
+        assert back.num_registers() == net.num_registers()
+        assert len(back.inputs) == len(net.inputs)
+
+        def stim(n):
+            def f(vid, cycle):
+                return (hash((n.gate(vid).name, cycle)) >> 2) & 1
+            return f
+
+        tr_a = BitParallelSimulator(net).run(8, stim(net),
+                                             observe=[net.targets[0]])
+        tr_b = BitParallelSimulator(back).run(8, stim(back),
+                                              observe=[back.targets[0]])
+        assert tr_a[net.targets[0]] == tr_b[back.targets[0]]
+
+    def test_conversion_rejects_latches(self):
+        b = NetlistBuilder()
+        b.latch(b.input("d"), b.input("clk"))
+        with pytest.raises(NetlistError):
+            netlist_to_aig(b.net)
+
+    def test_conversion_rejects_nondet_init(self):
+        b = NetlistBuilder()
+        iv = b.input("iv")
+        r = b.register(None, init=iv, name="r")
+        b.connect(r, r)
+        with pytest.raises(NetlistError):
+            netlist_to_aig(b.net)
+
+    def test_all_gate_types_convert(self):
+        b = NetlistBuilder()
+        x, y, z = b.input("x"), b.input("y"), b.input("z")
+        sigs = [
+            b.net.add_gate(GateType.AND, (x, y)),
+            b.net.add_gate(GateType.NAND, (x, y)),
+            b.net.add_gate(GateType.OR, (x, y)),
+            b.net.add_gate(GateType.NOR, (x, y)),
+            b.net.add_gate(GateType.XOR, (x, y)),
+            b.net.add_gate(GateType.XNOR, (x, y)),
+            b.net.add_gate(GateType.MUX, (z, x, y)),
+            b.net.add_gate(GateType.NOT, (x,)),
+            b.net.add_gate(GateType.BUF, (y,)),
+        ]
+        for s in sigs:
+            b.net.add_output(s)
+        aig, lit_of = netlist_to_aig(b.net)
+        sim = BitParallelSimulator(b.net)
+        for vx, vy, vz in itertools.product([0, 1], repeat=3):
+            values = sim.evaluate({}, {x: vx, y: vy, z: vz})
+            avalues, _ = aig.evaluate({
+                aig_node(lit_of[x]): vx,
+                aig_node(lit_of[y]): vy,
+                aig_node(lit_of[z]): vz})
+            for s in sigs:
+                assert aig.lit_value(avalues, lit_of[s]) == values[s], s
+
+    def test_register_init_one_preserved(self):
+        b = NetlistBuilder()
+        r = b.register(None, init=b.const1, name="r")
+        b.connect(r, r)
+        b.net.add_output(r)
+        aig, lit_of = netlist_to_aig(b.net)
+        assert aig.init_of(aig_node(lit_of[r])) == 1
+        back, _ = aig_to_netlist(aig)
+        sim = BitParallelSimulator(back)
+        assert sim.initial_state()[back.registers[0]] == 1

@@ -1,0 +1,198 @@
+"""Unit tests for the BDD package and symbolic netlist views."""
+
+import itertools
+
+from repro.bdd import BDD, SymbolicNetlist
+from repro.netlist import NetlistBuilder
+
+
+class TestBDDCore:
+    def setup_method(self):
+        self.bdd = BDD()
+
+    def test_terminals_distinct(self):
+        assert self.bdd.zero is not self.bdd.one
+
+    def test_reduction_identical_children(self):
+        b = self.bdd
+        assert b.node(0, b.one, b.one) is b.one
+
+    def test_hash_consing(self):
+        b = self.bdd
+        assert b.var(3) is b.var(3)
+
+    def test_not(self):
+        b = self.bdd
+        x = b.var(0)
+        assert b.not_(b.not_(x)) is x
+        assert b.not_(b.zero) is b.one
+
+    def test_and_or_truth_tables(self):
+        b = self.bdd
+        x, y = b.var(0), b.var(1)
+        f_and = b.and_(x, y)
+        f_or = b.or_(x, y)
+        for vx, vy in itertools.product([False, True], repeat=2):
+            env = {0: vx, 1: vy}
+            assert b.evaluate(f_and, env) == (vx and vy)
+            assert b.evaluate(f_or, env) == (vx or vy)
+
+    def test_xor_equiv(self):
+        b = self.bdd
+        x, y = b.var(0), b.var(1)
+        f = b.xor(x, y)
+        g = b.equiv(x, y)
+        for vx, vy in itertools.product([False, True], repeat=2):
+            env = {0: vx, 1: vy}
+            assert b.evaluate(f, env) == (vx != vy)
+            assert b.evaluate(g, env) == (vx == vy)
+
+    def test_canonical_equality(self):
+        # (x AND y) OR (x AND NOT y) == x
+        b = self.bdd
+        x, y = b.var(0), b.var(1)
+        f = b.or_(b.and_(x, y), b.and_(x, b.not_(y)))
+        assert f is x
+
+    def test_exists(self):
+        b = self.bdd
+        x, y = b.var(0), b.var(1)
+        f = b.and_(x, y)
+        assert b.exists([1], f) is x
+        assert b.exists([0, 1], f) is b.one
+
+    def test_forall(self):
+        b = self.bdd
+        x, y = b.var(0), b.var(1)
+        f = b.or_(x, y)
+        assert b.forall([1], f) is x
+
+    def test_and_exists_matches_composition(self):
+        b = self.bdd
+        x, y, z = b.var(0), b.var(1), b.var(2)
+        f = b.or_(x, y)
+        g = b.or_(b.not_(y), z)
+        direct = b.exists([1], b.and_(f, g))
+        fused = b.and_exists([1], f, g)
+        assert direct is fused
+
+    def test_compose(self):
+        b = self.bdd
+        x, y, z = b.var(0), b.var(1), b.var(2)
+        f = b.and_(x, y)
+        # y := (x OR z)
+        g = b.compose(f, 1, b.or_(x, z))
+        for vx, vz in itertools.product([False, True], repeat=2):
+            env = {0: vx, 2: vz}
+            assert b.evaluate(g, env) == (vx and (vx or vz))
+
+    def test_rename_interleaved(self):
+        b = self.bdd
+        f = b.and_(b.var(0), b.var(2))
+        g = b.rename(f, {0: 1, 2: 3})
+        assert b.support(g) == [1, 3]
+
+    def test_support(self):
+        b = self.bdd
+        f = b.ite(b.var(1), b.var(5), b.var(3))
+        assert b.support(f) == [1, 3, 5]
+
+    def test_sat_count(self):
+        b = self.bdd
+        x, y = b.var(0), b.var(1)
+        assert b.sat_count(b.and_(x, y), 2) == 1
+        assert b.sat_count(b.or_(x, y), 2) == 3
+        assert b.sat_count(b.one, 3) == 8
+        assert b.sat_count(b.zero, 3) == 0
+
+    def test_pick_cube(self):
+        b = self.bdd
+        f = b.and_(b.var(0), b.not_(b.var(1)))
+        cube = b.pick_cube(f)
+        assert cube == {0: True, 1: False}
+        assert b.pick_cube(b.zero) is None
+
+    def test_cubes_cover_function(self):
+        b = self.bdd
+        f = b.or_(b.and_(b.var(0), b.var(1)), b.not_(b.var(0)))
+        for cube in b.cubes(f):
+            assert b.evaluate(f, dict(cube))
+
+
+class TestSymbolicNetlist:
+    def test_cone_of_combinational_logic(self):
+        nb = NetlistBuilder()
+        x, y = nb.input("x"), nb.input("y")
+        g = nb.and_(x, nb.not_(y))
+        sym = SymbolicNetlist(nb.net)
+        f = sym.cone(g)
+        vx = sym.input_vars[x]
+        vy = sym.input_vars[y]
+        for a, c in itertools.product([False, True], repeat=2):
+            assert sym.bdd.evaluate(f, {vx: a, vy: c}) == (a and not c)
+
+    def test_initial_states_constant_init(self):
+        nb = NetlistBuilder()
+        r = nb.register(name="r")  # init 0
+        nb.connect(r, nb.not_(r))
+        sym = SymbolicNetlist(nb.net)
+        z = sym.initial_states()
+        lvl = sym.state_vars[r]
+        assert sym.bdd.evaluate(z, {lvl: False})
+        assert not sym.bdd.evaluate(z, {lvl: True})
+
+    def test_initial_states_nondeterministic(self):
+        nb = NetlistBuilder()
+        iv = nb.input("iv")
+        r = nb.register(None, init=iv, name="r")
+        nb.connect(r, r)
+        sym = SymbolicNetlist(nb.net)
+        z = sym.bdd.exists(list(sym.input_vars.values()),
+                           sym.initial_states())
+        assert z is sym.bdd.one  # both initial values possible
+
+    def test_preimage_of_toggler(self):
+        # r' = NOT r: preimage of {r=1} is {r=0}.
+        nb = NetlistBuilder()
+        r = nb.register(name="r")
+        nb.connect(r, nb.not_(r))
+        sym = SymbolicNetlist(nb.net)
+        lvl = sym.state_vars[r]
+        target = sym.bdd.var(lvl)
+        pre = sym.preimage(target)
+        assert sym.bdd.evaluate(pre, {lvl: False})
+        assert not sym.bdd.evaluate(pre, {lvl: True})
+
+    def test_preimage_quantifies_inputs(self):
+        # r' = i (input): every state can reach r=1.
+        nb = NetlistBuilder()
+        i = nb.input("i")
+        r = nb.register(i, name="r")
+        sym = SymbolicNetlist(nb.net)
+        pre = sym.preimage(sym.bdd.var(sym.state_vars[r]))
+        assert pre is sym.bdd.one
+
+    def test_counter_preimage_chain(self):
+        # 2-bit counter; preimage of value 2 is exactly value 1.
+        nb = NetlistBuilder()
+        regs = nb.registers(2, prefix="c")
+        nb.connect_word(regs, nb.increment(regs))
+        sym = SymbolicNetlist(nb.net)
+        b = sym.bdd
+        v0, v1 = (sym.state_vars[r] for r in regs)
+        is2 = b.and_(b.not_(b.var(v0)), b.var(v1))
+        pre = sym.preimage(is2)
+        assert b.evaluate(pre, {v0: True, v1: False})  # value 1
+        assert b.sat_count(pre, 4) == 4  # one (v0,v1) pattern, free others
+
+    def test_next_state_function_of_latch(self):
+        nb = NetlistBuilder()
+        d, clk = nb.input("d"), nb.input("clk")
+        lat = nb.latch(d, clk)
+        sym = SymbolicNetlist(nb.net)
+        f = sym.next_state_function(lat)
+        env = {sym.input_vars[d]: True, sym.input_vars[clk]: True,
+               sym.state_vars[lat]: False}
+        assert sym.bdd.evaluate(f, env)
+        env[sym.input_vars[clk]] = False
+        assert not sym.bdd.evaluate(f, env)  # holds current 0

@@ -1,0 +1,233 @@
+"""Unit tests for BLIF format I/O."""
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    NetlistBuilder,
+    NetlistError,
+    parse_blif,
+    s27,
+    write_blif,
+)
+from repro.sim import BitParallelSimulator
+
+SIMPLE = """\
+# a tiny sequential BLIF
+.model tiny
+.inputs a b
+.outputs q
+.latch next q 0
+.names a b next
+11 1
+.end
+"""
+
+OFFSET = """\
+.model offset
+.inputs a b
+.outputs o
+.names a b o
+00 0
+.end
+"""
+
+CONSTANT = """\
+.model consts
+.outputs one zero
+.names one
+1
+.names zero
+.end
+"""
+
+
+class TestParseBlif:
+    def test_simple_latch_model(self):
+        net = parse_blif(SIMPLE)
+        assert net.name == "tiny"
+        assert len(net.inputs) == 2
+        assert net.num_registers() == 1
+        q = net.by_name("q")
+        sim = BitParallelSimulator(net)
+        trace = sim.run(3, lambda v, c: 1, observe=[q])
+        assert trace[q] == [0, 1, 1]
+
+    def test_offset_cover(self):
+        # "00 0" lists the OFF-set: o = NOT(NOT a AND NOT b) = a OR b.
+        net = parse_blif(OFFSET)
+        o = net.outputs[0]
+        sim = BitParallelSimulator(net, width=4)
+        a, b = net.inputs
+        values = sim.evaluate({}, {a: 0b1010, b: 0b1100})
+        assert values[o] == 0b1110
+
+    def test_constant_covers(self):
+        net = parse_blif(CONSTANT)
+        one, zero = net.outputs
+        sim = BitParallelSimulator(net)
+        values = sim.evaluate({}, {})
+        assert values[one] == 1
+        assert values[zero] == 0
+
+    def test_dont_care_cube(self):
+        net = parse_blif("""
+.model dc
+.inputs a b c
+.outputs o
+.names a b c o
+1-1 1
+01- 1
+.end
+""")
+        o = net.outputs[0]
+        a, b, c = net.inputs
+        sim = BitParallelSimulator(net, width=8)
+        values = sim.evaluate(
+            {}, {a: 0b11110000, b: 0b11001100, c: 0b10101010})
+        # o = (a AND c) OR (NOT a AND b)
+        expected = (0b11110000 & 0b10101010) | (~0b11110000 & 0b11001100)
+        assert values[o] == expected & 0xFF
+
+    def test_latch_dont_care_init(self):
+        net = parse_blif("""
+.model dcinit
+.inputs d
+.outputs q
+.latch d q 2
+.end
+""")
+        reg = net.registers[0]
+        init = net.gate(reg).fanins[1]
+        assert net.gate(init).type is GateType.INPUT
+
+    def test_latch_with_clock_spec(self):
+        net = parse_blif("""
+.model clocked
+.inputs d
+.outputs q
+.latch d q re clk 0
+.end
+""")
+        assert net.num_registers() == 1
+
+    def test_continuation_lines(self):
+        net = parse_blif(""".model cont
+.inputs a \\
+b
+.outputs o
+.names a b o
+11 1
+.end
+""")
+        assert len(net.inputs) == 2
+
+    def test_undefined_signal_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_blif(".model x\n.outputs o\n.names zz o\n1 1\n.end\n")
+
+    def test_mixed_polarity_cover_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_blif(""".model x
+.inputs a
+.outputs o
+.names a o
+1 1
+0 0
+.end
+""")
+
+    def test_unknown_construct_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_blif(".model x\n.subckt foo a=b\n.end\n")
+
+    def test_bad_cube_character_rejected(self):
+        with pytest.raises(NetlistError):
+            parse_blif(".model x\n.inputs a\n.outputs o\n"
+                       ".names a o\n2 1\n.end\n")
+
+
+class TestWriteBlif:
+    def test_round_trip_s27(self):
+        net = s27()
+        text = write_blif(net)
+        again = parse_blif(text)
+        assert again.num_registers() == 3
+        assert len(again.inputs) == 4
+
+        def stim(n):
+            def f(vid, cycle):
+                return (hash((n.gate(vid).name, cycle)) >> 2) & 1
+            return f
+
+        tr_a = BitParallelSimulator(net).run(8, stim(net),
+                                             observe=[net.targets[0]])
+        tr_b = BitParallelSimulator(again).run(8, stim(again),
+                                               observe=[again.targets[0]])
+        assert tr_a[net.targets[0]] == tr_b[again.targets[0]]
+
+    def test_round_trip_gate_zoo(self):
+        b = NetlistBuilder("zoo")
+        x, y, z = b.input("x"), b.input("y"), b.input("z")
+        gates = [
+            b.net.add_gate(GateType.AND, (x, y), name="g_and"),
+            b.net.add_gate(GateType.NAND, (x, y), name="g_nand"),
+            b.net.add_gate(GateType.OR, (x, y), name="g_or"),
+            b.net.add_gate(GateType.NOR, (x, y), name="g_nor"),
+            b.net.add_gate(GateType.XOR, (x, y), name="g_xor"),
+            b.net.add_gate(GateType.XNOR, (x, y), name="g_xnor"),
+            b.net.add_gate(GateType.MUX, (z, x, y), name="g_mux"),
+            b.net.add_gate(GateType.NOT, (x,), name="g_not"),
+        ]
+        for g in gates:
+            b.net.add_output(g)
+        again = parse_blif(write_blif(b.net))
+        import itertools
+
+        sim_a = BitParallelSimulator(b.net)
+        sim_b = BitParallelSimulator(again)
+        for vx, vy, vz in itertools.product([0, 1], repeat=3):
+            ins_a = dict(zip(b.net.inputs, (vx, vy, vz)))
+            # Inputs round-trip in declaration order.
+            ins_b = dict(zip(again.inputs, (vx, vy, vz)))
+            va = sim_a.evaluate({}, ins_a)
+            vb = sim_b.evaluate({}, ins_b)
+            for ga, gb in zip(b.net.outputs, again.outputs):
+                assert va[ga] == vb[gb], b.net.gate(ga).name
+
+    def test_nondet_init_round_trips_as_dont_care(self):
+        b = NetlistBuilder("nd")
+        iv = b.input("iv")
+        r = b.register(None, init=iv, name="r")
+        b.connect(r, r)
+        b.net.add_output(r)
+        text = write_blif(b.net)
+        assert " 2" in text
+        again = parse_blif(text)
+        init = again.gate(again.registers[0]).fanins[1]
+        assert again.gate(init).type is GateType.INPUT
+
+    def test_rejects_latch_netlists(self):
+        b = NetlistBuilder()
+        b.latch(b.input("d"), b.input("clk"))
+        with pytest.raises(NetlistError):
+            write_blif(b.net)
+
+    def test_rejects_complex_init_cone(self):
+        b = NetlistBuilder()
+        iv = b.input("iv")
+        r = b.register(None, init=b.not_(iv), name="r")
+        b.connect(r, r)
+        b.net.add_output(r)
+        with pytest.raises(NetlistError):
+            write_blif(b.net)
+
+
+class TestToolsBlif:
+    def test_load_save_blif(self, tmp_path):
+        from repro.tools import load_netlist, save_netlist
+
+        path = tmp_path / "s27.blif"
+        save_netlist(s27(), str(path))
+        again = load_netlist(str(path))
+        assert again.num_registers() == 3

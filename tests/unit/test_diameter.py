@@ -1,0 +1,304 @@
+"""Unit tests for the diameter engines (exact, structural, recurrence)."""
+
+import pytest
+
+from repro.diameter import (
+    AC,
+    CC,
+    GC,
+    MC,
+    QC,
+    ExplicitStateSpace,
+    StructuralAnalysis,
+    detect_cell,
+    first_hit_time,
+    initial_depth,
+    recurrence_diameter,
+    state_diameter,
+    structural_diameter_bound,
+)
+from repro.netlist import GateType, NetlistBuilder, s27
+
+
+def pipeline(depth, width=1):
+    b = NetlistBuilder("pipe")
+    words = [b.inputs(width, prefix="i")]
+    for k in range(depth):
+        regs = b.registers(width, prefix=f"s{k}_")
+        b.connect_word(regs, words[-1])
+        words.append(regs)
+    t = b.buf(b.or_(*words[-1]), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def counter(width):
+    b = NetlistBuilder("counter")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.and_(*regs), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def memory(rows, width, builder_name="mem"):
+    """One-row-per-cycle memory: rows selected by one-hot decode."""
+    b = NetlistBuilder(builder_name)
+    addr = b.inputs(max(1, (rows - 1).bit_length()), prefix="a")
+    data = b.inputs(width, prefix="d")
+    we = b.input("we")
+    sels = b.onehot_decode(addr)[:rows]
+    cells = []
+    for r in range(rows):
+        sel = b.buf(b.and_(we, sels[r]), name=f"sel{r}")
+        row = []
+        for w in range(width):
+            cell = b.register(name=f"m{r}_{w}")
+            b.connect(cell, b.mux(sel, data[w], cell))
+            row.append(cell)
+        cells.append(row)
+    t = b.buf(b.or_(*[c for row in cells for c in row]), name="t")
+    b.net.add_target(t)
+    return b.net, t, cells
+
+
+class TestExplicitOracle:
+    def test_toggler_quantities(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        net = b.net
+        # Reachable graph: 0 -> 1 -> 0; eccentricities 1; diameter 1+1.
+        assert state_diameter(net) == 2
+        assert initial_depth(net) == 2
+
+    def test_counter_initial_depth(self):
+        net, t = counter(3)
+        assert initial_depth(net) == 8
+        assert state_diameter(net) == 8
+        assert first_hit_time(net, t) == 7
+
+    def test_unreachable_target(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, r)
+        b.net.add_target(r)
+        assert first_hit_time(b.net, r) is None
+
+    def test_combinational_target_hit_at_zero(self):
+        b = NetlistBuilder()
+        i = b.input()
+        b.net.add_target(i)
+        assert first_hit_time(b.net, i) == 0
+
+    def test_nondeterministic_init_enumerated(self):
+        b = NetlistBuilder()
+        iv = b.input("iv")
+        r = b.register(None, init=iv, name="r")
+        b.connect(r, r)
+        b.net.add_target(r)
+        space = ExplicitStateSpace(b.net)
+        assert space.initial_states() == {(0,), (1,)}
+        assert first_hit_time(b.net, r) == 0
+
+    def test_size_guard(self):
+        b = NetlistBuilder()
+        for k in range(30):
+            b.register(name=f"r{k}")
+        with pytest.raises(ValueError):
+            ExplicitStateSpace(b.net)
+
+
+class TestCellDetection:
+    def test_mux_hold_cell(self):
+        b = NetlistBuilder()
+        sel, data = b.input("s"), b.input("d")
+        r = b.register(name="r")
+        b.connect(r, b.mux(sel, data, r))
+        cell = detect_cell(b.net, r)
+        assert cell is not None
+        assert cell.sel == sel
+        assert cell.data == data
+
+    def test_mux_hold_cell_inverted_arms(self):
+        b = NetlistBuilder()
+        sel, data = b.input("s"), b.input("d")
+        r = b.register(name="r")
+        b.connect(r, b.mux(sel, r, data))
+        cell = detect_cell(b.net, r)
+        assert cell is not None
+        assert cell.data == data
+
+    def test_and_or_hold_cell(self):
+        b = NetlistBuilder()
+        sel, data = b.input("s"), b.input("d")
+        r = b.register(name="r")
+        hold = b.net.add_gate(GateType.AND, (b.not_(sel), r))
+        load = b.net.add_gate(GateType.AND, (sel, data))
+        b.connect(r, b.net.add_gate(GateType.OR, (load, hold)))
+        cell = detect_cell(b.net, r)
+        assert cell is not None
+        assert cell.sel == sel
+
+    def test_latch_is_cell(self):
+        b = NetlistBuilder()
+        d, clk = b.input("d"), b.input("clk")
+        lat = b.latch(d, clk)
+        cell = detect_cell(b.net, lat)
+        assert cell is not None
+        assert cell.sel == clk
+
+    def test_non_cell_rejected(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        assert detect_cell(b.net, r) is None
+
+
+class TestStructuralClassification:
+    def test_pipeline_is_all_ac(self):
+        net, t = pipeline(3, width=2)
+        profile = StructuralAnalysis(net).register_profile()
+        assert profile[AC] == 6
+        assert profile[GC] == 0
+
+    def test_constant_registers_are_cc(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, r)  # stuck at 0
+        t = b.buf(b.not_(r), name="t")
+        b.net.add_target(t)
+        profile = StructuralAnalysis(b.net).register_profile()
+        assert profile[CC] == 1
+
+    def test_counter_is_gc(self):
+        net, t = counter(3)
+        profile = StructuralAnalysis(net).register_profile()
+        assert profile[GC] == 3
+
+    def test_memory_cells_clustered(self):
+        net, t, cells = memory(rows=4, width=3)
+        analysis = StructuralAnalysis(net)
+        profile = analysis.register_profile()
+        assert profile[MC] + profile[QC] == 12
+        mem_comps = [c for c in analysis.components if c.kind in (MC, QC)]
+        assert len(mem_comps) == 1
+        assert mem_comps[0].rows == 4
+
+    def test_shift_queue_rows_count_stages(self):
+        b = NetlistBuilder()
+        en = b.input("en")
+        data = b.input("d")
+        prev = data
+        cells = []
+        for k in range(4):
+            cell = b.register(name=f"q{k}")
+            b.connect(cell, b.mux(en, prev, cell))
+            cells.append(cell)
+            prev = cell
+        t = b.buf(cells[-1], name="t")
+        b.net.add_target(t)
+        analysis = StructuralAnalysis(b.net)
+        comps = [c for c in analysis.components if c.kind == QC]
+        assert len(comps) == 1
+        assert comps[0].rows == 4
+
+
+class TestStructuralBounds:
+    def test_combinational_target_bound_is_one(self):
+        b = NetlistBuilder()
+        x, y = b.input(), b.input()
+        t = b.buf(b.and_(x, y), name="t")
+        b.net.add_target(t)
+        assert structural_diameter_bound(b.net, t) == 1
+
+    def test_pipeline_bound_is_depth_plus_one(self):
+        for depth in (1, 2, 5):
+            net, t = pipeline(depth)
+            assert structural_diameter_bound(net, t) == depth + 1
+
+    def test_parallel_registers_do_not_stack(self):
+        # Two parallel one-stage pipelines joined combinationally:
+        # max-composition keeps the bound at 2, not 3.
+        b = NetlistBuilder()
+        x = b.input("x")
+        r1 = b.register(x, name="r1")
+        r2 = b.register(x, name="r2")
+        t = b.buf(b.and_(r1, r2), name="t")
+        b.net.add_target(t)
+        assert structural_diameter_bound(b.net, t) == 2
+
+    def test_memory_bound_multiplies_rows(self):
+        net, t, cells = memory(rows=4, width=2)
+        # d_in = 1, one MC with 4 rows: 1 * (4 + 1) = 5.
+        assert structural_diameter_bound(net, t) == 5
+
+    def test_gc_bound_exponential(self):
+        net, t = counter(4)
+        # d_in = 1, GC of 4 registers: 1 * 2**4 = 16 (the full state
+        # count; the 4-bit counter first hits value 15 at time 15).
+        assert structural_diameter_bound(net, t) == 16
+
+    def test_bounds_sound_against_exact_oracle(self):
+        cases = [pipeline(2), pipeline(4), counter(2), counter(3),
+                 (memory(2, 2)[0], memory(2, 2)[1])]
+        for net, t in cases:
+            hit = first_hit_time(net, t)
+            bound = structural_diameter_bound(net, t)
+            if hit is not None:
+                assert hit < bound, f"{net.name}: hit={hit} bound={bound}"
+
+    def test_s27_bound_sound(self):
+        net = s27()
+        t = net.targets[0]
+        bound = structural_diameter_bound(net, t)
+        hit = first_hit_time(net, t)
+        assert hit is not None and hit < bound
+
+    def test_bounds_all_targets(self):
+        net, t = pipeline(2)
+        analysis = StructuralAnalysis(net)
+        assert analysis.bounds() == {t: 3}
+
+
+class TestRecurrenceDiameter:
+    def test_toggler(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        result = recurrence_diameter(b.net)
+        # Longest simple path over 2 states has 1 transition.
+        assert result.exact
+        assert result.longest_path == 1
+        assert result.bound == 2
+
+    def test_counter_recurrence_exponential(self):
+        net, t = counter(2)
+        result = recurrence_diameter(net, max_k=10)
+        assert result.exact
+        assert result.longest_path == 3  # 4 distinct states
+        assert result.bound == 4
+
+    def test_from_init_tightens(self):
+        # r1 free-init holds; from Z (r=0) paths are shorter.
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.const1)  # goes to 1 and stays
+        b.net.add_target(r)
+        free = recurrence_diameter(b.net, from_init=False)
+        anchored = recurrence_diameter(b.net, from_init=True)
+        assert anchored.bound <= free.bound
+
+    def test_budget_yields_inexact(self):
+        net, t = counter(3)
+        result = recurrence_diameter(net, max_k=2)
+        assert not result.exact
+
+    def test_recurrence_dominates_first_hit(self):
+        for net, t in (counter(2), pipeline(3)):
+            result = recurrence_diameter(net, max_k=40)
+            assert result.exact
+            hit = first_hit_time(net, t)
+            if hit is not None:
+                assert hit < result.bound

@@ -1,0 +1,258 @@
+"""Edge-case and error-path tests across modules."""
+
+import pytest
+
+from repro.bdd import BDD
+from repro.core import TBVEngine, TransformChain, back_translate
+from repro.diameter import (
+    StructuralAnalysis,
+    recurrence_diameter,
+    structural_diameter_bound,
+)
+from repro.netlist import (
+    GateType,
+    Netlist,
+    NetlistBuilder,
+    NetlistError,
+    rebuild,
+    s27,
+)
+from repro.sat import SAT, UNSAT, Solver, neg, pos
+from repro.sim import BitParallelSimulator
+from repro.transform import (
+    coi_reduction,
+    enlarge_target,
+    redundancy_removal,
+    retime,
+)
+from repro.unroll import Unrolling, bmc
+
+
+class TestNetlistEdges:
+    def test_rebuild_with_no_targets_or_outputs(self):
+        net = Netlist("empty-roots")
+        net.add_gate(GateType.INPUT, (), name="x")
+        out, mapping = rebuild(net)
+        # Only the rebuilder's constant scaffolding survives.
+        assert len(out) <= 2
+        assert out.inputs == []
+
+    def test_rebuild_name_collision_resolved(self):
+        # Two vertices with the same name cannot exist, but a
+        # substitution can route two *named* vertices to one cone;
+        # rebuild must keep the first name and drop the duplicate.
+        net = Netlist("names")
+        a = net.add_gate(GateType.INPUT, (), name="shared_src")
+        g1 = net.add_gate(GateType.BUF, (a,), name="alias1")
+        g2 = net.add_gate(GateType.NOT, (g1,), name="alias2")
+        net.add_target(g2)
+        out, _ = rebuild(net)
+        assert out.by_name("shared_src") is not None
+
+    def test_register_init_self_reference_tolerated(self):
+        # A register whose init edge points at itself is degenerate
+        # but must not crash the simulator (resolves to 0).
+        net = Netlist("selfinit")
+        c0 = net.const0()
+        r = net.add_gate(GateType.REGISTER, (c0, c0), name="r")
+        net.set_fanins(r, (r, r))
+        net.add_target(r)
+        sim = BitParallelSimulator(net)
+        assert sim.initial_state()[r] == 0
+
+    def test_deep_netlist_no_recursion_blowup(self):
+        # 3000-deep NOT chain: traversals must be iterative.
+        b = NetlistBuilder("deep")
+        sig = b.input("x")
+        for _ in range(3000):
+            sig = b.net.add_gate(GateType.NOT, (sig,))
+        b.net.add_target(sig)
+        out, _ = rebuild(b.net)
+        assert len(out) >= 2  # folds NOT pairs, keeps parity
+
+    def test_deep_register_chain_traversals(self):
+        b = NetlistBuilder("deepregs")
+        sig = b.input("x")
+        for k in range(500):
+            sig = b.register(sig, name=f"r{k}")
+        b.net.add_target(sig)
+        assert structural_diameter_bound(b.net, sig) == 501
+
+    def test_wide_and_gate(self):
+        b = NetlistBuilder("wide")
+        inputs = b.inputs(40, prefix="w")
+        g = b.net.add_gate(GateType.AND, tuple(inputs))
+        b.net.add_target(g)
+        sim = BitParallelSimulator(b.net)
+        values = sim.evaluate({}, {v: 1 for v in inputs})
+        assert values[g] == 1
+
+
+class TestSolverEdges:
+    def test_add_clause_after_unsat_stays_unsat(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v)])
+        s.add_clause([neg(v)])
+        assert s.solve() == UNSAT
+        assert s.add_clause([pos(s.new_var())]) is False
+        assert s.solve() == UNSAT
+
+    def test_duplicate_literals_in_clause(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v), pos(v), pos(v)])
+        assert s.solve() == SAT
+        assert s.model[v]
+
+    def test_clause_with_unallocated_variable(self):
+        s = Solver()
+        s.add_clause([pos(7)])
+        assert s.num_vars == 8
+        assert s.solve() == SAT
+        assert s.model[7]
+
+    def test_large_variable_count(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(2000)]
+        for a, b in zip(vs, vs[1:]):
+            s.add_clause([neg(a), pos(b)])
+        s.add_clause([pos(vs[0])])
+        assert s.solve() == SAT
+        assert all(s.model[v] for v in vs)
+
+    def test_assumptions_with_fresh_variable(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v)])
+        fresh = s.new_var()
+        assert s.solve([pos(fresh)]) == SAT
+        assert s.model[fresh]
+
+
+class TestBDDEdges:
+    def test_exists_over_absent_variable(self):
+        b = BDD()
+        f = b.var(0)
+        assert b.exists([5], f) is f
+
+    def test_compose_with_absent_variable(self):
+        b = BDD()
+        f = b.var(0)
+        assert b.compose(f, 3, b.var(1)) is f
+
+    def test_rename_rejects_order_violation(self):
+        b = BDD()
+        f = b.and_(b.var(0), b.var(2))
+        with pytest.raises(ValueError):
+            b.rename(f, {0: 3, 2: 1})
+
+    def test_deep_chain_no_recursion_blowup(self):
+        b = BDD()
+        f = b.one
+        for lvl in range(300):
+            f = b.and_(f, b.var(lvl))
+        assert b.count_nodes(f) == 300
+
+
+class TestTransformEdges:
+    def test_retime_pure_combinational(self):
+        b = NetlistBuilder("comb")
+        t = b.buf(b.and_(b.input("x"), b.input("y")), name="t")
+        b.net.add_target(t)
+        result = retime(b.net)
+        assert result.netlist.num_registers() == 0
+        assert result.step.lags[t] == 0
+
+    def test_retime_netlist_without_targets(self):
+        b = NetlistBuilder("notargets")
+        r = b.register(b.input("x"), name="r")
+        b.net.add_output(r)
+        result = retime(b.net)
+        assert result.step.lags == {}
+
+    def test_com_on_combinational_netlist(self):
+        b = NetlistBuilder("comb2")
+        x = b.input("x")
+        t = b.buf(b.or_(x, x), name="t")
+        b.net.add_target(t)
+        result = redundancy_removal(b.net)
+        mapped = result.step.target_map[t]
+        assert result.netlist.gate(mapped).type is GateType.INPUT
+
+    def test_coi_with_explicit_roots(self):
+        net = s27()
+        result = coi_reduction(net, roots=[net.by_name("G5")])
+        assert result.netlist.num_registers() <= 3
+
+    def test_enlarge_beyond_backward_depth(self):
+        # k larger than any backward distance: frontier goes empty and
+        # stays empty.
+        b = NetlistBuilder("shallow")
+        i = b.input("i")
+        r = b.register(i, name="r")
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        result = enlarge_target(b.net, t, k=5)
+        mapped = result.step.target_map[t]
+        assert result.netlist.gate(mapped).type is GateType.CONST0
+
+    def test_engine_rejects_phase_on_registers(self):
+        net = s27()
+        with pytest.raises(NetlistError):
+            TBVEngine("PHASE").transform(net)
+
+
+class TestUnrollEdges:
+    def test_zero_depth_bmc(self):
+        net = s27()
+        result = bmc(net, max_depth=0)
+        assert result.status == "bounded"
+        assert result.depth_checked == 0
+
+    def test_deep_unrolling(self):
+        b = NetlistBuilder("deepunroll")
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        u = Unrolling(b.net)
+        lit = u.literal(r, 50)
+        # Even frames are 0, odd frames are 1.
+        assert u.solver.solve([lit]) == (UNSAT if 50 % 2 == 0 else SAT)
+
+    def test_recurrence_on_stateless_netlist(self):
+        b = NetlistBuilder("stateless")
+        t = b.buf(b.input("x"), name="t")
+        b.net.add_target(t)
+        result = recurrence_diameter(b.net, max_k=4)
+        # A single (empty) state: no simple path of length 1.
+        assert result.exact
+        assert result.bound == 1
+
+
+class TestAnalysisEdges:
+    def test_structural_on_empty_netlist(self):
+        net = Netlist("void")
+        analysis = StructuralAnalysis(net)
+        assert analysis.register_profile() == {
+            "CC": 0, "AC": 0, "MC": 0, "QC": 0, "GC": 0}
+
+    def test_bound_of_constant_target(self):
+        b = NetlistBuilder("const")
+        b.net.add_target(b.const0)
+        assert structural_diameter_bound(b.net, b.const0) == 1
+
+    def test_back_translate_identity_chain(self):
+        net = Netlist("id")
+        t = net.add_gate(GateType.INPUT)
+        net.add_target(t)
+        chain = TransformChain.identity(net)
+        assert back_translate(chain, t, 123) == 123
+
+    def test_latch_only_netlist_profile(self):
+        b = NetlistBuilder("latches")
+        clk = b.input("clk")
+        lat = b.latch(b.input("d"), clk, name="l")
+        b.net.add_target(lat)
+        profile = StructuralAnalysis(b.net).register_profile()
+        assert profile["MC"] + profile["QC"] == 1  # latch = hold cell

@@ -1,0 +1,129 @@
+"""Unit tests for the TBV engine (strategy pipelines + back-translation)."""
+
+import pytest
+
+from repro.core import BOUNDED, PROVEN, TBVEngine, TRIVIAL_HIT
+from repro.diameter import first_hit_time
+from repro.netlist import NetlistBuilder
+from repro.transform import SweepConfig
+
+FAST = SweepConfig(sim_cycles=4, sim_width=32, conflict_budget=500,
+                   max_rounds=3)
+
+
+def pipeline_with_junk(depth=3):
+    """A pipeline plus redundant duplicate logic for COM to chew on."""
+    b = NetlistBuilder("pipejunk")
+    x = b.input("i")
+    sig = x
+    for k in range(depth):
+        sig = b.register(sig, name=f"p{k}")
+    dup = x
+    for k in range(depth):
+        dup = b.register(dup, name=f"q{k}")
+    t = b.buf(b.or_(sig, dup), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+class TestTBVEngine:
+    def test_strategy_parsing(self):
+        eng = TBVEngine("com, ret ,com")
+        assert eng.strategy == ["COM", "RET", "COM"]
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError):
+            TBVEngine("COM,FROB").transform(NetlistBuilder().net)
+
+    def test_empty_strategy_is_identity(self):
+        net, t = pipeline_with_junk(2)
+        result = TBVEngine("", sweep_config=FAST).run(net)
+        assert result.netlist is net
+        assert result.reports[0].status == BOUNDED
+
+    def test_com_merges_duplicate_pipelines(self):
+        net, t = pipeline_with_junk(3)
+        chain = TBVEngine("COM", sweep_config=FAST).transform(net)
+        assert chain.netlist.num_registers() == 3  # q* merged into p*
+
+    def test_com_ret_com_eliminates_pipeline(self):
+        net, t = pipeline_with_junk(3)
+        result = TBVEngine("COM,RET,COM", sweep_config=FAST).run(net)
+        assert result.netlist.num_registers() == 0
+        report = result.reports[0]
+        assert report.transformed_bound == 1  # combinational
+        assert report.bound == 4  # Theorem 2: 1 + lag 3
+
+    def test_back_translated_bound_sound(self):
+        net, t = pipeline_with_junk(2)
+        for strategy in ("", "COM", "COM,RET,COM"):
+            result = TBVEngine(strategy, sweep_config=FAST).run(net)
+            bound = result.reports[0].bound
+            hit = first_hit_time(net, t)
+            assert hit is not None and hit < bound, strategy
+
+    def test_proven_status_for_constant_target(self):
+        b = NetlistBuilder("dead")
+        r = b.register(name="r")
+        b.connect(r, r)  # stuck at 0
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        result = TBVEngine("COM", sweep_config=FAST).run(b.net)
+        assert result.reports[0].status == PROVEN
+        assert result.reports[0].bound == 0
+
+    def test_trivial_hit_status(self):
+        b = NetlistBuilder("alive")
+        r = b.register(None, init=b.const1, name="r")
+        b.connect(r, r)
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        result = TBVEngine("COM", sweep_config=FAST).run(b.net)
+        assert result.reports[0].status == TRIVIAL_HIT
+
+    def test_useful_and_average(self):
+        net, t = pipeline_with_junk(2)
+        result = TBVEngine("COM,RET,COM", sweep_config=FAST).run(net)
+        useful = result.useful(threshold=50)
+        assert len(useful) == 1
+        assert result.average_bound(50) == useful[0].bound
+
+    def test_custom_bounder_plugs_in(self):
+        net, t = pipeline_with_junk(2)
+        calls = []
+
+        def bounder(final_net, target):
+            calls.append(target)
+            return 7
+
+        result = TBVEngine("COM", bounder=bounder,
+                           sweep_config=FAST).run(net)
+        assert calls
+        assert result.reports[0].transformed_bound == 7
+
+    def test_cslow_strategy_token(self):
+        b = NetlistBuilder("ring")
+        r1 = b.register(name="s0")
+        r2 = b.register(r1, name="s1")
+        b.connect(r1, b.not_(r2))
+        t = b.buf(r2, name="t")
+        b.net.add_target(t)
+        result = TBVEngine("CSLOW:2", sweep_config=FAST).run(b.net)
+        assert result.netlist.num_registers() == 1
+        report = result.reports[0]
+        # Theorem 3: transformed bound doubled.
+        assert report.bound == 2 * report.transformed_bound
+        hit = first_hit_time(b.net, t)
+        assert hit is not None and hit < report.bound
+
+    def test_phase_strategy_token(self):
+        b = NetlistBuilder("tp")
+        clk1, clk2 = b.input("clk1"), b.input("clk2")
+        l1 = b.latch(b.input("d"), clk1, name="L1")
+        l2 = b.latch(l1, clk2, name="L2")
+        t = b.buf(l2, name="t")
+        b.net.add_target(t)
+        result = TBVEngine("PHASE", sweep_config=FAST).run(b.net)
+        assert result.netlist.latches == []
+        report = result.reports[0]
+        assert report.bound == 2 * report.transformed_bound

@@ -1,0 +1,229 @@
+"""Unit tests for target enlargement, approximations, and re-encoding."""
+
+import pytest
+
+from repro.core import StepKind, UnsoundTransformError, TransformChain, \
+    back_translate
+from repro.bdd import SymbolicNetlist
+from repro.diameter import first_hit_time, structural_diameter_bound
+from repro.netlist import GateType, NetlistBuilder, NetlistError
+from repro.transform import (
+    case_split,
+    cut_is_surjective,
+    enlarge_target,
+    enlargement_frontiers,
+    localize,
+    localize_by_distance,
+    parametric_reencode,
+    synthesize_bdd,
+)
+
+
+def counter_target(width, value, name="cnt"):
+    b = NetlistBuilder(name)
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.word_eq(regs, b.word_const(value, width)), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+class TestSynthesizeBdd:
+    def test_round_trip_function(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        sym = SymbolicNetlist(b.net)
+        f = sym.bdd.and_(sym.bdd.var(sym.input_vars[x]),
+                         sym.bdd.not_(sym.bdd.var(sym.input_vars[y])))
+        signal = synthesize_bdd(b.net, sym.bdd,
+                                f, {lvl: vid for vid, lvl
+                                    in sym.input_vars.items()})
+        from repro.sim import BitParallelSimulator
+        sim = BitParallelSimulator(b.net, width=4)
+        values = sim.evaluate({}, {x: 0b1010, y: 0b1100})
+        assert values[signal] == 0b0010  # x AND NOT y
+
+
+class TestEnlargementFrontiers:
+    def test_counter_frontiers_are_exact_distances(self):
+        net, t = counter_target(2, 3)
+        sym = SymbolicNetlist(net)
+        frontiers = enlargement_frontiers(sym, t, 2)
+        b = sym.bdd
+        regs = net.registers
+        lv = [sym.state_vars[r] for r in regs]
+
+        def holds(f, value):
+            env = {lv[i]: bool((value >> i) & 1) for i in range(2)}
+            return b.evaluate(f, env)
+
+        assert holds(frontiers[0], 3)  # hit now
+        assert holds(frontiers[1], 2)  # one step away
+        assert holds(frontiers[2], 1)
+        assert not holds(frontiers[1], 3)  # inductive simplification
+        assert not holds(frontiers[2], 3)
+
+
+class TestEnlargeTarget:
+    def test_step_metadata(self):
+        net, t = counter_target(2, 3)
+        result = enlarge_target(net, t, k=1)
+        assert result.step.kind is StepKind.TARGET_ENLARGE
+        assert result.step.depth == 1
+
+    def test_enlarged_target_hit_earlier(self):
+        net, t = counter_target(3, 5)
+        assert first_hit_time(net, t) == 5
+        result = enlarge_target(net, t, k=2)
+        mapped = result.step.target_map[t]
+        assert first_hit_time(result.netlist, mapped) == 3
+
+    def test_theorem4_bound_covers_original(self):
+        net, t = counter_target(3, 5)
+        k = 2
+        result = enlarge_target(net, t, k=k)
+        mapped = result.step.target_map[t]
+        hit_enlarged = first_hit_time(result.netlist, mapped)
+        hit_orig = first_hit_time(net, t)
+        # The paper's Theorem 4 invariant: original hit within d' + k.
+        assert hit_orig <= hit_enlarged + k
+
+    def test_unreachable_target_enlarges_to_empty(self):
+        b = NetlistBuilder("stuck")
+        r = b.register(name="r")
+        b.connect(r, r)
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        result = enlarge_target(b.net, t, k=1)
+        mapped = result.step.target_map[t]
+        # S_0 (r = 1) is never reached; S_1 = pre(S_0) \ S_0 = {}.
+        assert first_hit_time(result.netlist, mapped) is None
+
+    def test_zero_step_enlargement(self):
+        net, t = counter_target(2, 2)
+        result = enlarge_target(net, t, k=0)
+        mapped = result.step.target_map[t]
+        assert first_hit_time(result.netlist, mapped) == \
+            first_hit_time(net, t)
+
+    def test_negative_k_rejected(self):
+        net, t = counter_target(2, 2)
+        with pytest.raises(ValueError):
+            enlarge_target(net, t, k=-1)
+
+
+class TestApproximations:
+    def test_localize_replaces_state_with_inputs(self):
+        net, t = counter_target(3, 5)
+        result = localize(net, net.registers[:2])
+        assert result.netlist.num_registers() < 3
+        assert result.step.kind is StepKind.OVERAPPROX
+
+    def test_localize_bound_not_translatable(self):
+        net, t = counter_target(3, 5)
+        result = localize(net, net.registers)
+        chain = TransformChain.identity(net).extend(result)
+        with pytest.raises(UnsoundTransformError):
+            back_translate(chain, t, 1)
+
+    def test_localization_can_shrink_bound_unsoundly(self):
+        # The counter localized to pure inputs has structural bound 1,
+        # far below the true first-hit time: exactly why Section 3.5
+        # forbids using it.
+        net, t = counter_target(3, 7)
+        result = localize(net, net.registers)
+        mapped = result.step.target_map[t]
+        approx_bound = structural_diameter_bound(result.netlist, mapped)
+        assert approx_bound < first_hit_time(net, t) + 1
+
+    def test_localize_by_distance_keeps_near_state(self):
+        net, t = counter_target(3, 5)
+        result = localize_by_distance(net, t, radius=8)
+        # Every register is within the radius: nothing localized.
+        assert result.netlist.num_registers() == 3
+
+    def test_case_split_fixes_inputs(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        t = b.buf(b.and_(x, y), name="t")
+        b.net.add_target(t)
+        result = case_split(b.net, {x: 1})
+        mapped = result.step.target_map[t]
+        # AND(1, y) = y: target collapses onto remaining input.
+        assert result.netlist.gate(mapped).type is GateType.INPUT
+        assert result.step.kind is StepKind.UNDERAPPROX
+
+    def test_case_split_rejects_non_inputs(self):
+        net, t = counter_target(2, 2)
+        with pytest.raises(ValueError):
+            case_split(net, {t: 1})
+
+    def test_case_split_bound_not_translatable(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        t = b.buf(x, name="t")
+        b.net.add_target(t)
+        result = case_split(b.net, {x: 0})
+        chain = TransformChain.identity(b.net).extend(result)
+        with pytest.raises(UnsoundTransformError):
+            back_translate(chain, t, 1)
+
+
+class TestParametricReencoding:
+    def test_surjective_xor_cut(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        g1 = b.net.add_gate(GateType.XOR, (x, y))
+        g2 = b.net.add_gate(GateType.BUF, (y,))
+        assert cut_is_surjective(b.net, [g1, g2])
+
+    def test_non_surjective_cut(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        g1 = b.net.add_gate(GateType.BUF, (x,))
+        g2 = b.net.add_gate(GateType.NOT, (x,))
+        # (g1, g2) ranges over {01, 10} only.
+        assert not cut_is_surjective(b.net, [g1, g2])
+
+    def test_reencode_replaces_cone(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        g1 = b.buf(b.xor(x, y), name="c0")
+        g2 = b.buf(y, name="c1")
+        r = b.register(b.and_(g1, g2), name="r")
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        result = parametric_reencode(b.net, [g1, g2])
+        assert result.step.kind is StepKind.TRACE_EQUIVALENT
+        out = result.netlist
+        # The XOR cone is gone; the cut signals are now free inputs.
+        assert all(out.gate(v).type is not GateType.XOR for v in out)
+
+    def test_reencode_refuses_non_surjective(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        g1 = b.buf(x, name="c0")
+        g2 = b.buf(b.not_(x), name="c1")
+        t = b.buf(b.and_(g1, g2), name="t")
+        b.net.add_target(t)
+        with pytest.raises(NetlistError):
+            parametric_reencode(b.net, [g1, g2])
+
+    def test_reencode_refuses_leaky_cone(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        inner = b.buf(b.xor(x, y), name="inner")
+        cut = b.buf(inner, name="cut")
+        leak = b.buf(inner, name="leak")  # cone vertex read outside
+        t = b.buf(b.and_(cut, leak), name="t")
+        b.net.add_target(t)
+        with pytest.raises(NetlistError):
+            parametric_reencode(b.net, [cut])
+
+    def test_stateful_cone_rejected(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        g = b.buf(r, name="g")
+        with pytest.raises(NetlistError):
+            cut_is_surjective(b.net, [g])

@@ -1,0 +1,97 @@
+"""Unit tests for SAT-enumeration target enlargement."""
+
+import pytest
+
+from repro.core import StepKind
+from repro.diameter import first_hit_time
+from repro.netlist import GateType, NetlistBuilder
+from repro.transform import enlarge_target
+from repro.transform.enlarge_sat import enlarge_target_sat
+
+
+def counter_target(width, value):
+    b = NetlistBuilder("cnt")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.word_eq(regs, b.word_const(value, width)), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+class TestEnlargeSat:
+    def test_matches_bdd_variant_on_counters(self):
+        for k in (1, 2):
+            net, t = counter_target(3, 5)
+            bdd_res = enlarge_target(net, t, k=k)
+            sat_res = enlarge_target_sat(net, t, k=k)
+            hit_bdd = first_hit_time(
+                bdd_res.netlist, bdd_res.step.target_map[t])
+            hit_sat = first_hit_time(
+                sat_res.netlist, sat_res.step.target_map[t])
+            assert hit_bdd == hit_sat == 5 - k
+
+    def test_step_metadata(self):
+        net, t = counter_target(2, 3)
+        result = enlarge_target_sat(net, t, k=1)
+        assert result.step.kind is StepKind.TARGET_ENLARGE
+        assert result.step.depth == 1
+        assert "SAT" in result.step.name
+
+    def test_theorem4_invariant(self):
+        net, t = counter_target(3, 6)
+        for k in (0, 1, 3):
+            result = enlarge_target_sat(net, t, k=k)
+            mapped = result.step.target_map[t]
+            hit = first_hit_time(result.netlist, mapped)
+            assert first_hit_time(net, t) <= (hit if hit is not None
+                                              else 0) + k
+
+    def test_unreachable_target_empties(self):
+        b = NetlistBuilder("stuck")
+        r = b.register(name="r")
+        b.connect(r, r)
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        result = enlarge_target_sat(b.net, t, k=1)
+        mapped = result.step.target_map[t]
+        assert first_hit_time(result.netlist, mapped) is None
+
+    def test_input_disjunct_universal_frontier(self):
+        # target = input OR register: S_0 projected to the register
+        # support is universal; S_1 is then empty.
+        b = NetlistBuilder("inp")
+        i = b.input("i")
+        r = b.register(b.input("j"), name="r")
+        t = b.buf(b.or_(i, r), name="t")
+        b.net.add_target(t)
+        result = enlarge_target_sat(b.net, t, k=1)
+        mapped = result.step.target_map[t]
+        assert result.netlist.gate(mapped).type is GateType.CONST0
+
+    def test_cube_budget_enforced(self):
+        net, t = counter_target(4, 9)
+        with pytest.raises(ValueError):
+            enlarge_target_sat(net, t, k=1, max_cubes=0)
+
+    def test_negative_k_rejected(self):
+        net, t = counter_target(2, 2)
+        with pytest.raises(ValueError):
+            enlarge_target_sat(net, t, k=-1)
+
+    def test_irrelevant_registers_projected_out(self):
+        # A free-running side counter must not appear in the cubes.
+        b = NetlistBuilder("side")
+        regs = b.registers(2, prefix="c")
+        b.connect_word(regs, b.increment(regs))
+        side = b.registers(3, prefix="s")
+        b.connect_word(side, b.increment(side))
+        t = b.buf(b.and_(*regs), name="t")
+        b.net.add_target(t)
+        result = enlarge_target_sat(b.net, t, k=1)
+        # The enlarged cone must not mention the side counter.
+        from repro.netlist import state_support
+
+        mapped = result.step.target_map[t]
+        support_names = {result.netlist.gate(v).name
+                         for v in state_support(result.netlist, mapped)}
+        assert not any((n or "").startswith("s") for n in support_names)

@@ -1,0 +1,102 @@
+"""Unit tests for the (unsound) estimator and multi-target BMC."""
+
+from repro.diameter import estimate_diameter, initial_depth
+from repro.netlist import NetlistBuilder
+from repro.unroll import FALSIFIED, PROVEN, BOUNDED, bmc, bmc_multi
+
+
+def counter(width):
+    b = NetlistBuilder(f"cnt{width}")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.and_(*regs), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def multi_target_design():
+    """Several targets at different depths plus an unreachable one."""
+    b = NetlistBuilder("multi")
+    sig = b.input("i")
+    targets = []
+    for k in range(3):
+        sig = b.register(sig, name=f"p{k}")
+        t = b.buf(sig, name=f"t{k}")
+        b.net.add_target(t)
+        targets.append(t)
+    dead = b.register(name="dead")
+    b.connect(dead, dead)
+    t_dead = b.buf(dead, name="t_dead")
+    b.net.add_target(t_dead)
+    targets.append(t_dead)
+    return b.net, targets
+
+
+class TestEstimator:
+    def test_estimate_lower_bounds_exact_depth(self):
+        for width in (2, 3):
+            net, t = counter(width)
+            estimate = estimate_diameter(net, walks=4, steps=40)
+            assert estimate.estimate <= initial_depth(net)
+
+    def test_deterministic_counter_estimated_exactly(self):
+        # A counter visits all states on any walk: the estimate is
+        # exact here (which is what makes estimators tempting).
+        net, t = counter(3)
+        estimate = estimate_diameter(net, walks=2, steps=40)
+        assert estimate.estimate == initial_depth(net) == 8
+        assert estimate.states_seen == 8
+
+    def test_estimator_flagged_unsound(self):
+        net, t = counter(2)
+        assert not estimate_diameter(net).is_upper_bound
+
+    def test_estimate_can_undershoot(self):
+        # With too few steps the estimate misses deep states: exactly
+        # why it must never be used as a completeness bound.
+        net, t = counter(4)
+        shallow = estimate_diameter(net, walks=1, steps=3)
+        assert shallow.estimate < initial_depth(net)
+
+    def test_deterministic_given_seed(self):
+        net, t = counter(3)
+        a = estimate_diameter(net, seed=11)
+        b = estimate_diameter(net, seed=11)
+        assert a == b
+
+
+class TestBMCMulti:
+    def test_matches_individual_bmc(self):
+        net, targets = multi_target_design()
+        results = bmc_multi(net, max_depth=8,
+                            complete_bounds={targets[-1]: 2})
+        for target in targets:
+            single = bmc(net, target, max_depth=8,
+                         complete_bound=2 if target == targets[-1]
+                         else None)
+            assert results[target].status == single.status
+            if single.status == FALSIFIED:
+                assert results[target].counterexample.depth == \
+                    single.counterexample.depth
+
+    def test_depth_staggered_hits(self):
+        net, targets = multi_target_design()
+        results = bmc_multi(net, targets[:3], max_depth=8)
+        depths = [results[t].counterexample.depth for t in targets[:3]]
+        assert depths == [1, 2, 3]
+
+    def test_proven_via_bound(self):
+        net, targets = multi_target_design()
+        results = bmc_multi(net, [targets[-1]], max_depth=8,
+                            complete_bounds={targets[-1]: 2})
+        assert results[targets[-1]].status == PROVEN
+
+    def test_bounded_without_bound(self):
+        net, targets = multi_target_design()
+        results = bmc_multi(net, [targets[-1]], max_depth=4)
+        assert results[targets[-1]].status == BOUNDED
+
+    def test_duplicate_targets_deduped(self):
+        net, targets = multi_target_design()
+        results = bmc_multi(net, [targets[0], targets[0]], max_depth=4)
+        assert len(results) == 1

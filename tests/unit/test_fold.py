@@ -1,0 +1,195 @@
+"""Unit tests for the state-folding abstractions (phase, c-slow)."""
+
+import pytest
+
+from repro.core import StepKind
+from repro.netlist import GateType, NetlistBuilder, NetlistError
+from repro.sim import BitParallelSimulator
+from repro.transform import (
+    cslow_abstract,
+    infer_cslow_coloring,
+    infer_latch_colors,
+    phase_abstract,
+)
+
+
+def two_phase_pipeline(stages=2):
+    """A classic two-phase latch pipeline: L1/L2 latches alternating."""
+    b = NetlistBuilder("twophase")
+    clk1, clk2 = b.input("clk1"), b.input("clk2")
+    data = b.input("d")
+    sig = data
+    latches = []
+    for k in range(stages):
+        l1 = b.latch(sig, clk1, name=f"L1_{k}")
+        l2 = b.latch(l1, clk2, name=f"L2_{k}")
+        latches.extend([l1, l2])
+        sig = l2
+    t = b.buf(sig, name="t")
+    b.net.add_target(t)
+    return b.net, t, latches
+
+
+def cslow_ring(c=2, name="ring"):
+    """A proper c-slow design: c interleaved toggler threads."""
+    b = NetlistBuilder(name)
+    regs = []
+    first = b.register(name="s0")
+    regs.append(first)
+    prev = first
+    for k in range(1, c):
+        r = b.register(prev, name=f"s{k}")
+        regs.append(r)
+        prev = r
+    b.connect(first, b.not_(prev))
+    t = b.buf(regs[-1], name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+class TestPhaseColoring:
+    def test_two_phase_colors(self):
+        net, t, latches = two_phase_pipeline()
+        colors = infer_latch_colors(net)
+        assert set(colors.values()) == {0, 1}
+
+    def test_gated_clock_rejected(self):
+        b = NetlistBuilder()
+        clk = b.input("clk")
+        en = b.input("en")
+        gated = b.and_(clk, en)
+        b.latch(b.input("d"), gated)
+        with pytest.raises(NetlistError):
+            infer_latch_colors(b.net)
+
+    def test_coloring_violation_rejected(self):
+        # A latch feeding a latch of the same phase is illegal.
+        b = NetlistBuilder()
+        clk = b.input("clk")
+        l1 = b.latch(b.input("d"), clk)
+        b.latch(l1, clk)
+        with pytest.raises(NetlistError):
+            infer_latch_colors(b.net)
+
+    def test_no_latches_rejected(self):
+        b = NetlistBuilder()
+        b.input("x")
+        with pytest.raises(NetlistError):
+            infer_latch_colors(b.net)
+
+
+class TestPhaseAbstraction:
+    def test_latches_become_registers(self):
+        net, t, latches = two_phase_pipeline(stages=2)
+        result = phase_abstract(net)
+        out = result.netlist
+        assert out.latches == []
+        # Half the latches (one phase) survive as registers.
+        assert out.num_registers() == 2
+        assert result.step.kind is StepKind.STATE_FOLD
+        assert result.step.factor == 2
+
+    def test_clock_inputs_disappear(self):
+        net, t, latches = two_phase_pipeline()
+        out = phase_abstract(net).netlist
+        names = {out.gate(v).name for v in out.inputs}
+        assert "clk1" not in names and "clk2" not in names
+
+    def test_folded_semantics(self):
+        # With clocks driven alternately (clk1 then clk2 per folded
+        # step), the original two-phase pipeline moves data one stage
+        # per two cycles; the abstraction moves it one per cycle.
+        net, t, latches = two_phase_pipeline(stages=1)
+        result = phase_abstract(net)
+        out = result.netlist
+        mapped = result.step.target_map[t]
+
+        stream = [1, 1, 0, 1, 0, 0, 1, 0]
+
+        def orig_stim(vid, cycle):
+            name = net.gate(vid).name
+            if name == "clk1":
+                return 1 - (cycle % 2)
+            if name == "clk2":
+                return cycle % 2
+            return stream[(cycle // 2) % len(stream)]
+
+        def fold_stim(vid, cycle):
+            return stream[cycle % len(stream)]
+
+        orig = BitParallelSimulator(net).run(16, orig_stim, observe=[t])
+        fold = BitParallelSimulator(out).run(8, fold_stim,
+                                             observe=[mapped])
+        # Original sampled at odd times (after clk2 phase) must match
+        # the folded trace, one folded step per two original steps.
+        sampled = orig[t][1::2]
+        assert fold[mapped][1:] == sampled[:-1] or \
+            fold[mapped] == sampled, (fold[mapped], sampled)
+
+    def test_keep_color_selectable(self):
+        net, t, latches = two_phase_pipeline()
+        out0 = phase_abstract(net, keep_color=0).netlist
+        out1 = phase_abstract(net, keep_color=1).netlist
+        assert out0.num_registers() == out1.num_registers() == 2
+
+
+class TestCslowColoring:
+    def test_ring_coloring(self):
+        net, t = cslow_ring(c=2)
+        colors = infer_cslow_coloring(net, 2)
+        assert sorted(colors.values()) == [0, 1]
+
+    def test_three_slow(self):
+        net, t = cslow_ring(c=3)
+        colors = infer_cslow_coloring(net, 3)
+        assert sorted(colors.values()) == [0, 1, 2]
+
+    def test_non_cslow_rejected(self):
+        # Self-loop register: cycle of length 1, not 2-colorable.
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        with pytest.raises(NetlistError):
+            infer_cslow_coloring(b.net, 2)
+
+    def test_c_below_two_rejected(self):
+        net, t = cslow_ring(c=2)
+        with pytest.raises(NetlistError):
+            infer_cslow_coloring(net, 1)
+
+
+class TestCslowAbstraction:
+    def test_register_count_divided(self):
+        net, t = cslow_ring(c=2)
+        result = cslow_abstract(net, c=2)
+        assert result.netlist.num_registers() == 1
+        assert result.step.factor == 2
+
+    def test_three_slow_reduction(self):
+        net, t = cslow_ring(c=3)
+        result = cslow_abstract(net, c=3)
+        assert result.netlist.num_registers() == 1
+
+    def test_folded_ring_is_toggler(self):
+        # The 2-slow ring folds to a single toggling register.
+        net, t = cslow_ring(c=2)
+        result = cslow_abstract(net, c=2)
+        out = result.netlist
+        mapped = result.step.target_map[t]
+        trace = BitParallelSimulator(out).run(6, lambda v, c: 0,
+                                              observe=[mapped])
+        assert trace[mapped] in ([0, 1, 0, 1, 0, 1], [1, 0, 1, 0, 1, 0])
+
+    def test_folded_trace_subsamples_original(self):
+        net, t = cslow_ring(c=2)
+        result = cslow_abstract(net, c=2)
+        mapped = result.step.target_map[t]
+        orig = BitParallelSimulator(net).run(12, lambda v, c: 0,
+                                             observe=[t])
+        fold = BitParallelSimulator(result.netlist).run(
+            6, lambda v, c: 0, observe=[mapped])
+        # Each folded step covers c = 2 original steps: the folded
+        # trace must appear among the c phase-subsamplings.
+        subsamples = [orig[t][p::2] for p in range(2)]
+        assert fold[mapped] in subsamples

@@ -1,0 +1,134 @@
+"""Unit tests for miters and sequential equivalence checking."""
+
+import pytest
+
+from repro.netlist import GateType, NetlistBuilder, NetlistError, s27
+from repro.transform import (
+    DIFFERENT,
+    EQUIVALENT,
+    SweepConfig,
+    build_miter,
+    check_equivalence,
+    redundancy_removal,
+    retime,
+    strash,
+)
+
+FAST = SweepConfig(sim_cycles=8, sim_width=32, conflict_budget=300)
+
+
+def toggler(name, invert=False):
+    b = NetlistBuilder(name)
+    r = b.register(name="r")
+    b.connect(r, b.not_(r))
+    t = b.buf(r if not invert else b.not_(r), name="t")
+    b.net.add_target(t)
+    return b.net
+
+
+class TestBuildMiter:
+    def test_inputs_shared_by_name(self):
+        a = NetlistBuilder("a")
+        x1 = a.input("x")
+        a.net.add_target(a.buf(x1, name="t"))
+        b = NetlistBuilder("b")
+        x2 = b.input("x")
+        b.net.add_target(b.buf(b.not_(b.not_(x2)), name="t"))
+        miter, targets = build_miter(a.net, b.net)
+        assert len(miter.inputs) == 1
+        assert len(targets) == 1
+
+    def test_mismatched_target_counts_rejected(self):
+        a = toggler("a")
+        b = NetlistBuilder("b")
+        b.net.add_target(b.input("x"))
+        b.net.add_target(b.input("y"))
+        with pytest.raises(NetlistError):
+            build_miter(a, b.net)
+
+    def test_state_copied_per_side(self):
+        a = toggler("a")
+        b = toggler("b")
+        miter, _ = build_miter(a, b)
+        assert miter.num_registers() == 2
+
+
+class TestCheckEquivalence:
+    def test_identical_netlists_equivalent(self):
+        result = check_equivalence(toggler("a"), toggler("b"),
+                                   sweep_config=FAST)
+        assert result.verdict == EQUIVALENT
+
+    def test_inverted_netlists_different(self):
+        result = check_equivalence(toggler("a"), toggler("b", invert=True),
+                                   sweep_config=FAST)
+        assert result.verdict == DIFFERENT
+        assert result.counterexample_depth == 0
+
+    def test_com_output_formally_equivalent(self):
+        net = s27()
+        reduced = redundancy_removal(net, config=FAST)
+        mapped = reduced.step.target_map[net.targets[0]]
+        result = check_equivalence(
+            net, reduced.netlist,
+            pairs=[(net.targets[0], mapped)], sweep_config=FAST)
+        assert result.verdict == EQUIVALENT
+
+    def test_strash_output_formally_equivalent(self):
+        net = s27()
+        reduced = strash(net)
+        mapped = reduced.step.target_map[net.targets[0]]
+        result = check_equivalence(
+            net, reduced.netlist,
+            pairs=[(net.targets[0], mapped)], sweep_config=FAST)
+        assert result.verdict == EQUIVALENT
+
+    def test_retimed_netlist_not_cycle_accurate(self):
+        # Retiming is trace-equivalent only modulo the target lag: the
+        # plain miter must detect the temporal skew as a difference —
+        # which is exactly why Theorem 2 adds the lag.
+        b = NetlistBuilder("pipe")
+        sig = b.input("i")
+        for k in range(2):
+            sig = b.register(sig, name=f"p{k}")
+        t = b.buf(sig, name="t")
+        b.net.add_target(t)
+        ret = retime(b.net)
+        assert ret.step.lags[t] == 2
+        mapped = ret.step.target_map[t]
+        result = check_equivalence(b.net, ret.netlist,
+                                   pairs=[(t, mapped)],
+                                   sweep_config=FAST)
+        assert result.verdict == DIFFERENT
+
+    def test_subtly_different_fsm_caught(self):
+        # Same structure, one altered init value: divergence appears
+        # only after a few steps.
+        def machine(init_one):
+            b = NetlistBuilder("m")
+            r0 = b.register(
+                None,
+                init=b.const1 if init_one else b.const0, name="r0")
+            r1 = b.register(r0, name="r1")
+            b.connect(r0, b.xor(r1, b.input("i")))
+            t = b.buf(r1, name="t")
+            b.net.add_target(t)
+            return b.net
+
+        result = check_equivalence(machine(False), machine(True),
+                                   sweep_config=FAST)
+        assert result.verdict == DIFFERENT
+        assert result.counterexample_depth <= 2
+
+    def test_per_pair_verdicts(self):
+        a = NetlistBuilder("a")
+        x = a.input("x")
+        a.net.add_target(a.buf(x, name="t0"))
+        a.net.add_target(a.buf(a.not_(x), name="t1"))
+        b = NetlistBuilder("b")
+        x2 = b.input("x")
+        b.net.add_target(b.buf(x2, name="t0"))
+        b.net.add_target(b.buf(x2, name="t1"))  # differs
+        result = check_equivalence(a.net, b.net, sweep_config=FAST)
+        assert result.per_pair[0] == EQUIVALENT
+        assert result.per_pair[1] == DIFFERENT

@@ -1,0 +1,197 @@
+"""Unit tests for the netlist container and gate types."""
+
+import pytest
+
+from repro.netlist import (
+    Gate,
+    GateType,
+    Netlist,
+    NetlistBuilder,
+    NetlistError,
+)
+
+
+class TestGate:
+    def test_register_requires_two_fanins(self):
+        with pytest.raises(NetlistError):
+            Gate(GateType.REGISTER, (0,))
+
+    def test_mux_requires_three_fanins(self):
+        with pytest.raises(NetlistError):
+            Gate(GateType.MUX, (0, 1))
+
+    def test_and_requires_at_least_one_fanin(self):
+        with pytest.raises(NetlistError):
+            Gate(GateType.AND, ())
+
+    def test_const_has_no_fanins(self):
+        with pytest.raises(NetlistError):
+            Gate(GateType.CONST0, (0,))
+
+    def test_predicates(self):
+        assert Gate(GateType.REGISTER, (0, 0)).is_state
+        assert Gate(GateType.LATCH, (0, 0)).is_state
+        assert Gate(GateType.AND, (0, 1)).is_combinational
+        assert Gate(GateType.INPUT).is_source
+        assert Gate(GateType.CONST0).is_source
+        assert not Gate(GateType.INPUT).is_state
+
+    def test_with_fanins(self):
+        g = Gate(GateType.AND, (0, 1), name="g")
+        g2 = g.with_fanins((2, 3))
+        assert g2.fanins == (2, 3)
+        assert g2.name == "g"
+        assert g2.type is GateType.AND
+
+
+class TestNetlist:
+    def test_add_and_lookup(self):
+        net = Netlist("t")
+        a = net.add_gate(GateType.INPUT, (), name="a")
+        b = net.add_gate(GateType.NOT, (a,), name="b")
+        assert net.by_name("a") == a
+        assert net.gate(b).fanins == (a,)
+        assert len(net) == 2
+        assert a in net and 99 not in net
+
+    def test_fanin_must_exist(self):
+        net = Netlist()
+        with pytest.raises(NetlistError):
+            net.add_gate(GateType.NOT, (42,))
+
+    def test_duplicate_name_rejected(self):
+        net = Netlist()
+        net.add_gate(GateType.INPUT, (), name="x")
+        with pytest.raises(NetlistError):
+            net.add_gate(GateType.INPUT, (), name="x")
+
+    def test_const0_is_shared(self):
+        net = Netlist()
+        assert net.const0() == net.const0()
+
+    def test_registers_and_inputs_listed(self):
+        net = Netlist()
+        i = net.add_gate(GateType.INPUT)
+        c = net.const0()
+        r = net.add_gate(GateType.REGISTER, (i, c))
+        assert net.inputs == [i]
+        assert net.registers == [r]
+        assert net.num_registers() == 1
+        assert net.state_elements == [r]
+
+    def test_targets_and_outputs(self):
+        net = Netlist()
+        i = net.add_gate(GateType.INPUT)
+        net.add_target(i)
+        net.add_output(i)
+        assert net.targets == [i]
+        assert net.outputs == [i]
+        with pytest.raises(NetlistError):
+            net.add_target(123)
+
+    def test_set_fanins(self):
+        net = Netlist()
+        a = net.add_gate(GateType.INPUT)
+        b = net.add_gate(GateType.INPUT)
+        g = net.add_gate(GateType.AND, (a, a))
+        net.set_fanins(g, (a, b))
+        assert net.gate(g).fanins == (a, b)
+
+    def test_copy_is_independent(self):
+        net = Netlist("orig")
+        i = net.add_gate(GateType.INPUT)
+        net.add_target(i)
+        dup = net.copy("dup")
+        dup.add_gate(GateType.NOT, (i,))
+        dup.targets.clear()
+        assert len(net) == 1
+        assert net.targets == [i]
+        assert dup.name == "dup"
+
+    def test_fanout_map(self):
+        net = Netlist()
+        a = net.add_gate(GateType.INPUT)
+        g1 = net.add_gate(GateType.NOT, (a,))
+        g2 = net.add_gate(GateType.AND, (a, g1))
+        fan = net.fanout_map()
+        assert sorted(fan[a]) == [g1, g2]
+        assert fan[g2] == []
+
+    def test_stats(self):
+        net = Netlist()
+        net.add_gate(GateType.INPUT)
+        stats = net.stats()
+        assert stats["vertices"] == 1
+        assert stats["input"] == 1
+
+
+class TestNetlistBuilder:
+    def test_constants(self):
+        b = NetlistBuilder()
+        assert b.const(0) == b.const0
+        assert b.const(1) == b.const1
+        assert b.not_(b.const0) == b.const1
+        assert b.not_(b.const1) == b.const0
+
+    def test_double_negation_collapses(self):
+        b = NetlistBuilder()
+        x = b.input()
+        assert b.not_(b.not_(x)) == x
+
+    def test_and_simplification(self):
+        b = NetlistBuilder()
+        x = b.input()
+        assert b.and_(x, b.const0) == b.const0
+        assert b.and_(x, b.const1) == x
+        assert b.and_(x, x) == x
+        assert b.and_() == b.const1
+
+    def test_or_simplification(self):
+        b = NetlistBuilder()
+        x = b.input()
+        assert b.or_(x, b.const1) == b.const1
+        assert b.or_(x, b.const0) == x
+        assert b.or_() == b.const0
+
+    def test_xor_simplification(self):
+        b = NetlistBuilder()
+        x = b.input()
+        assert b.xor(x, x) == b.const0
+        assert b.xor(x, b.const0) == x
+        y = b.xor(x, b.const1)
+        assert b.net.gate(y).type is GateType.NOT
+
+    def test_mux_simplification(self):
+        b = NetlistBuilder()
+        x, y = b.input(), b.input()
+        assert b.mux(b.const1, x, y) == x
+        assert b.mux(b.const0, x, y) == y
+        assert b.mux(x, y, y) == y
+
+    def test_register_placeholder_and_connect(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        nxt = b.not_(r)
+        b.connect(r, nxt)
+        assert b.net.gate(r).fanins[0] == nxt
+
+    def test_word_helpers(self):
+        b = NetlistBuilder()
+        w = b.word_const(5, 4)
+        assert [b.net.gate(x).type is GateType.NOT for x in w] == [
+            True, False, True, False]
+        regs = b.registers(3, prefix="q")
+        assert [b.net.gate(r).name for r in regs] == ["q0", "q1", "q2"]
+
+    def test_increment_of_zero_word(self):
+        b = NetlistBuilder()
+        inc = b.increment(b.word_const(0, 3))
+        assert inc[0] == b.const1
+        assert inc[1] == b.const0
+        assert inc[2] == b.const0
+
+    def test_onehot_decode_width(self):
+        b = NetlistBuilder()
+        bits = b.inputs(2)
+        lines = b.onehot_decode(bits)
+        assert len(lines) == 4

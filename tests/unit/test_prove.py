@@ -1,0 +1,96 @@
+"""Unit tests for the top-level verification manager."""
+
+import pytest
+
+from repro.core import FALSIFIED, PROVEN, UNKNOWN, prove
+from repro.core.prove import ProofResult
+from repro.diameter import first_hit_time
+from repro.netlist import NetlistBuilder
+from repro.transform import SweepConfig
+from repro.unroll import replay_counterexample
+
+FAST = SweepConfig(sim_cycles=6, sim_width=32, conflict_budget=200)
+
+
+def mod_counter_target(width, modulus, value):
+    b = NetlistBuilder("mod")
+    regs = b.registers(width, prefix="c")
+    wrap = b.word_eq(regs, b.word_const(modulus - 1, width))
+    bump = b.word_mux(wrap, b.word_const(0, width), b.increment(regs))
+    b.connect_word(regs, bump)
+    t = b.buf(b.word_eq(regs, b.word_const(value, width)), name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+class TestProve:
+    def test_proves_by_transformation(self):
+        # XOR of merged duplicate pipelines: COM discharges outright.
+        b = NetlistBuilder("dup")
+        x = b.input("x")
+        a = c = x
+        for k in range(2):
+            a = b.register(a, name=f"a{k}")
+            c = b.register(c, name=f"b{k}")
+        t = b.buf(b.xor(a, c), name="t")
+        b.net.add_target(t)
+        result = prove(b.net, sweep_config=FAST)
+        assert result.status == PROVEN
+        assert result.method in ("transformation", "complete-bmc")
+
+    def test_proves_by_complete_bmc(self):
+        net, t = mod_counter_target(3, 6, 7)  # value 7 unreachable
+        result = prove(net, sweep_config=FAST, refine_gc_limit=4)
+        assert result.status == PROVEN
+        assert result.method == "complete-bmc"
+        assert result.bound == 6
+
+    def test_falsifies_within_bound(self):
+        net, t = mod_counter_target(3, 6, 4)  # reachable at time 4
+        result = prove(net, sweep_config=FAST, refine_gc_limit=4)
+        assert result.status == FALSIFIED
+        assert result.counterexample.depth == first_hit_time(net, t)
+        assert replay_counterexample(net, t, result.counterexample)
+
+    def test_falls_back_to_induction(self):
+        # Stuck register behind a big useless bound: k-induction wins.
+        b = NetlistBuilder("stuckdeep")
+        regs = b.registers(8, prefix="c")
+        b.connect_word(regs, b.increment(regs))  # bound 256
+        dead = b.register(name="dead")
+        b.connect(dead, dead)
+        t = b.buf(b.and_(dead, b.or_(*regs)), name="t")
+        b.net.add_target(t)
+        result = prove(b.net, sweep_config=FAST, max_complete_depth=16,
+                       quick_bmc_depth=3, induction_k=3)
+        assert result.status == PROVEN
+        assert result.method in ("k-induction", "transformation",
+                                 "localization")
+
+    def test_deep_counterexample_via_quick_bmc_budget(self):
+        net, t = mod_counter_target(4, 12, 9)
+        result = prove(net, sweep_config=FAST, max_complete_depth=64,
+                       refine_gc_limit=4)
+        assert result.status == FALSIFIED
+
+    def test_unknown_when_everything_exhausted(self):
+        # Large counter, unreachable value, and budgets too small for
+        # any engine to conclude.
+        net, t = mod_counter_target(6, 40, 60)
+        result = prove(net, sweep_config=FAST, max_complete_depth=5,
+                       quick_bmc_depth=2, induction_k=1)
+        assert result.status == UNKNOWN
+        assert result.log
+
+    def test_requires_target(self):
+        b = NetlistBuilder("none")
+        b.input("x")
+        with pytest.raises(ValueError):
+            prove(b.net)
+
+    def test_result_log_narrates(self):
+        net, t = mod_counter_target(2, 3, 3)
+        result = prove(net, sweep_config=FAST, refine_gc_limit=4)
+        assert isinstance(result, ProofResult)
+        assert any("portfolio" in line for line in result.log)
+        assert result.seconds >= 0

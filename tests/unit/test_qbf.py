@@ -1,0 +1,173 @@
+"""Unit tests for the 2QBF CEGAR solver and QBF diameter computation."""
+
+import itertools
+
+from repro.diameter import initial_depth
+from repro.diameter.qbf import (
+    qbf_initial_diameter,
+    qbf_initial_diameter_check,
+)
+from repro.netlist import NetlistBuilder
+from repro.sat import lit_not
+from repro.sat.qbf import solve_exists_forall, solve_forall_exists
+
+
+def encode_expr(func):
+    """Lift a python bool function over (xs, ys) into a matrix encoder
+    via naive truth-table synthesis (fine for tiny tests)."""
+
+    def encode(sink, xs, ys):
+        # Tseitin of the DNF of satisfying rows.
+        terms = []
+        nx, ny = len(xs), len(ys)
+        for bits in itertools.product([False, True], repeat=nx + ny):
+            if func(bits[:nx], bits[nx:]):
+                lits = [lit for lit, bit in zip(xs + ys, bits)
+                        if True] and \
+                       [(lit if bit else lit_not(lit))
+                        for lit, bit in zip(xs + ys, bits)]
+                from repro.sat import encode_and, pos
+                out = pos(sink.new_var())
+                encode_and(sink, out, lits)
+                terms.append(out)
+        from repro.sat import encode_or, pos
+        out = pos(sink.new_var())
+        if terms:
+            encode_or(sink, out, terms)
+        else:
+            sink.add_clause([lit_not(out)])
+        return out
+
+    return encode
+
+
+class TestForallExists:
+    def test_tautology(self):
+        # forall x exists y . (x == y)
+        result = solve_forall_exists(
+            1, 1, encode_expr(lambda xs, ys: xs[0] == ys[0]))
+        assert result.valid
+
+    def test_invalid_with_counterexample(self):
+        # forall x exists y . (x AND y): fails for x = 0.
+        result = solve_forall_exists(
+            1, 1, encode_expr(lambda xs, ys: xs[0] and ys[0]))
+        assert not result.valid
+        assert result.counterexample == [False]
+
+    def test_y_independent_validity(self):
+        # forall x exists y . (y OR NOT y) — trivially valid.
+        result = solve_forall_exists(
+            2, 1, encode_expr(lambda xs, ys: ys[0] or not ys[0]))
+        assert result.valid
+
+    def test_no_universals(self):
+        # exists y . y: valid; exists y . False: invalid.
+        assert solve_forall_exists(
+            0, 1, encode_expr(lambda xs, ys: ys[0])).valid
+        assert not solve_forall_exists(
+            0, 1, encode_expr(lambda xs, ys: False)).valid
+
+    def test_no_existentials(self):
+        assert solve_forall_exists(
+            1, 0, encode_expr(lambda xs, ys: True)).valid
+        result = solve_forall_exists(
+            1, 0, encode_expr(lambda xs, ys: xs[0]))
+        assert not result.valid
+        assert result.counterexample == [False]
+
+    def test_xor_matching(self):
+        # forall x1 x2 exists y . (y == x1 XOR x2)
+        result = solve_forall_exists(
+            2, 1,
+            encode_expr(lambda xs, ys: ys[0] == (xs[0] != xs[1])))
+        assert result.valid
+        assert result.iterations <= 8
+
+    def test_brute_force_agreement(self):
+        import random
+        rng = random.Random(7)
+        for _ in range(20):
+            table = {bits: rng.random() < 0.5
+                     for bits in itertools.product([False, True],
+                                                   repeat=3)}
+
+            def func(xs, ys, table=table):
+                return table[tuple(xs) + tuple(ys)]
+
+            expected = all(
+                any(table[(x0, x1, y)] for y in (False, True))
+                for x0 in (False, True) for x1 in (False, True))
+            result = solve_forall_exists(2, 1, encode_expr(func))
+            assert result.valid == expected
+
+
+class TestExistsForall:
+    def test_valid_witness(self):
+        # exists x forall y . (x OR y) — witness x = 1.
+        result = solve_exists_forall(
+            1, 1, encode_expr(lambda xs, ys: xs[0] or ys[0]))
+        assert result.valid
+        assert result.counterexample == [True]
+
+    def test_invalid(self):
+        # exists x forall y . (x == y) — no x works.
+        result = solve_exists_forall(
+            1, 1, encode_expr(lambda xs, ys: xs[0] == ys[0]))
+        assert not result.valid
+
+
+class TestQBFDiameter:
+    def toggler(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        return b.net
+
+    def counter(self, width):
+        b = NetlistBuilder()
+        regs = b.registers(width, prefix="c")
+        b.connect_word(regs, b.increment(regs))
+        b.net.add_target(regs[-1])
+        return b.net
+
+    def test_toggler_depth(self):
+        net = self.toggler()
+        result = qbf_initial_diameter(net, max_k=4)
+        assert result.exact
+        assert result.bound == initial_depth(net) == 2
+
+    def test_counter_depth(self):
+        net = self.counter(2)
+        result = qbf_initial_diameter(net, max_k=8)
+        assert result.exact
+        assert result.bound == initial_depth(net) == 4
+
+    def test_input_driven_register(self):
+        b = NetlistBuilder()
+        i = b.input("i")
+        r = b.register(i, name="r")
+        b.net.add_target(r)
+        result = qbf_initial_diameter(b.net, max_k=4)
+        assert result.exact
+        assert result.bound == initial_depth(b.net) == 2
+
+    def test_check_rejects_small_k(self):
+        net = self.counter(2)
+        # States at distance 2 are not reachable within 1 step.
+        assert not qbf_initial_diameter_check(net, 1).valid
+        assert qbf_initial_diameter_check(net, 3).valid
+
+    def test_stuck_design_depth_one(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, r)
+        b.net.add_target(r)
+        result = qbf_initial_diameter(b.net, max_k=2)
+        assert result.exact and result.bound == 1
+
+    def test_budget_yields_inexact(self):
+        net = self.counter(2)
+        result = qbf_initial_diameter(net, max_k=0)
+        assert not result.exact

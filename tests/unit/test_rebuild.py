@@ -1,0 +1,125 @@
+"""Unit tests for netlist rebuilding (hash-consing, COI, substitution)."""
+
+from repro.netlist import GateType, NetlistBuilder, rebuild, s27
+from repro.sim import BitParallelSimulator
+
+
+def run_target(net, cycles=6, stimulus=None):
+    """Simulate and return the first target's trace."""
+    sim = BitParallelSimulator(net)
+    stim = stimulus or (lambda v, c: (hash((net.gate(v).name, c)) >> 3) & 1)
+    return sim.run(cycles, stim, observe=[net.targets[0]])[net.targets[0]]
+
+
+class TestRebuild:
+    def test_coi_reduction_drops_unrelated_logic(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        t = b.not_(x)
+        # Unrelated register cloud.
+        r = b.register(name="junk")
+        b.connect(r, b.not_(r))
+        b.net.add_target(t)
+        out, mapping = rebuild(b.net)
+        assert out.num_registers() == 0
+        assert t in mapping
+
+    def test_hash_consing_merges_isomorphic_gates(self):
+        b = NetlistBuilder()
+        x, y = b.input("x"), b.input("y")
+        g1 = b.net.add_gate(GateType.AND, (x, y))
+        g2 = b.net.add_gate(GateType.AND, (y, x))  # commutative duplicate
+        b.net.add_target(b.net.add_gate(GateType.XOR, (g1, g2)))
+        out, mapping = rebuild(b.net)
+        assert mapping[g1] == mapping[g2]
+        # XOR(a, a) simplifies to constant 0.
+        assert out.gate(out.targets[0]).type is GateType.CONST0
+
+    def test_nand_normalized_to_not_and(self):
+        b = NetlistBuilder()
+        x, y = b.input(), b.input()
+        g = b.net.add_gate(GateType.NAND, (x, y))
+        b.net.add_target(g)
+        out, mapping = rebuild(b.net)
+        top = out.gate(out.targets[0])
+        assert top.type is GateType.NOT
+        assert out.gate(top.fanins[0]).type is GateType.AND
+
+    def test_substitution_redirects_fanout(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        slow = b.net.add_gate(GateType.BUF, (x,))
+        t = b.net.add_gate(GateType.NOT, (slow,))
+        b.net.add_target(t)
+        out, mapping = rebuild(b.net, substitution={slow: x})
+        top = out.gate(out.targets[0])
+        assert top.type is GateType.NOT
+        assert out.gate(top.fanins[0]).type is GateType.INPUT
+
+    def test_substitution_chain_resolved(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        a = b.net.add_gate(GateType.BUF, (x,))
+        c = b.net.add_gate(GateType.BUF, (a,))
+        t = b.net.add_gate(GateType.NOT, (c,))
+        b.net.add_target(t)
+        out, mapping = rebuild(b.net, substitution={c: a, a: x})
+        assert mapping[c] == mapping[x]
+
+    def test_register_feedback_preserved(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        out, mapping = rebuild(b.net)
+        assert out.num_registers() == 1
+        new_r = mapping[r]
+        nxt = out.gate(new_r).fanins[0]
+        assert out.gate(nxt).type is GateType.NOT
+        assert out.gate(nxt).fanins == (new_r,)
+
+    def test_semantics_preserved_on_s27(self):
+        net = s27()
+        out, mapping = rebuild(net)
+        # NAND/NOR normalization may add NOT gates, but state is kept.
+        assert out.num_registers() == net.num_registers()
+        assert len(out.inputs) == len(net.inputs)
+        sim_a = BitParallelSimulator(net)
+        sim_b = BitParallelSimulator(out)
+
+        def stim_named(target_net):
+            def f(vid, cycle):
+                name = target_net.gate(vid).name
+                return (hash((name, cycle)) >> 2) & 1
+            return f
+
+        tr_a = sim_a.run(8, stim_named(net), observe=[net.targets[0]])
+        tr_b = sim_b.run(8, stim_named(out), observe=[out.targets[0]])
+        assert tr_a[net.targets[0]] == tr_b[out.targets[0]]
+
+    def test_constant_folding_through_layers(self):
+        b = NetlistBuilder()
+        x = b.input()
+        g = b.net.add_gate(GateType.AND, (x, b.const0))
+        h = b.net.add_gate(GateType.OR, (g, b.const0))
+        b.net.add_target(h)
+        out, _ = rebuild(b.net)
+        assert out.gate(out.targets[0]).type is GateType.CONST0
+
+    def test_names_preserved_when_unique(self):
+        b = NetlistBuilder()
+        x = b.input("primary")
+        t = b.net.add_gate(GateType.NOT, (x,), name="prop")
+        b.net.add_target(t)
+        out, _ = rebuild(b.net)
+        assert out.by_name("primary") is not None
+        assert out.by_name("prop") == out.targets[0]
+
+    def test_outputs_remapped(self):
+        b = NetlistBuilder()
+        x = b.input()
+        t = b.not_(x)
+        b.net.add_output(t)
+        b.net.add_target(t)
+        out, mapping = rebuild(b.net)
+        assert out.outputs == [mapping[t]]

@@ -1,0 +1,243 @@
+"""Unit tests for the CDCL SAT solver and CNF utilities."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import (
+    CNF,
+    SAT,
+    UNKNOWN,
+    UNSAT,
+    Solver,
+    from_dimacs_lit,
+    lit_not,
+    lit_sign,
+    lit_var,
+    neg,
+    pos,
+    to_dimacs_lit,
+)
+
+
+def brute_force_sat(num_vars, clauses):
+    """Reference oracle: enumerate all assignments."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                bits[lit_var(l)] != lit_sign(l) for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            return True
+    return False
+
+
+def check_model(solver, clauses):
+    for clause in clauses:
+        assert any(
+            solver.model[lit_var(l)] != lit_sign(l) for l in clause
+        ), f"model does not satisfy {clause}"
+
+
+class TestLiterals:
+    def test_encoding_round_trip(self):
+        assert lit_var(pos(5)) == 5
+        assert lit_var(neg(5)) == 5
+        assert not lit_sign(pos(5))
+        assert lit_sign(neg(5))
+        assert lit_not(pos(3)) == neg(3)
+        assert lit_not(neg(3)) == pos(3)
+
+    def test_dimacs_conversion(self):
+        assert to_dimacs_lit(pos(0)) == 1
+        assert to_dimacs_lit(neg(0)) == -1
+        assert from_dimacs_lit(4) == pos(3)
+        assert from_dimacs_lit(-4) == neg(3)
+        with pytest.raises(ValueError):
+            from_dimacs_lit(0)
+
+
+class TestCNF:
+    def test_add_clause_grows_vars(self):
+        cnf = CNF()
+        cnf.add_clause([pos(4)])
+        assert cnf.num_vars == 5
+        assert len(cnf) == 1
+
+    def test_dimacs_round_trip(self):
+        cnf = CNF()
+        cnf.add_clause([pos(0), neg(1)])
+        cnf.add_clause([neg(0), pos(2)])
+        text = cnf.to_dimacs()
+        again = CNF.from_dimacs(text)
+        assert again.clauses == cnf.clauses
+        assert again.num_vars == cnf.num_vars
+
+    def test_dimacs_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            CNF.from_dimacs("p qbf 3 1\n1 0\n")
+
+
+class TestSolverBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve() == SAT
+
+    def test_unit_clause(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v)])
+        assert s.solve() == SAT
+        assert s.model[v] is True
+
+    def test_contradictory_units(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v)])
+        assert s.add_clause([neg(v)]) is False
+        assert s.solve() == UNSAT
+
+    def test_simple_implication_chain(self):
+        s = Solver()
+        a, b, c = (s.new_var() for _ in range(3))
+        s.add_clause([neg(a), pos(b)])
+        s.add_clause([neg(b), pos(c)])
+        s.add_clause([pos(a)])
+        assert s.solve() == SAT
+        assert s.model[a] and s.model[b] and s.model[c]
+
+    def test_xor_constraints_unsat(self):
+        # a xor b, b xor c, a xor c is unsatisfiable (odd cycle).
+        s = Solver()
+        a, b, c = (s.new_var() for _ in range(3))
+        for x, y in [(a, b), (b, c), (a, c)]:
+            s.add_clause([pos(x), pos(y)])
+            s.add_clause([neg(x), neg(y)])
+        assert s.solve() == UNSAT
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        v = s.new_var()
+        assert s.add_clause([pos(v), neg(v)])
+        assert s.solve() == SAT
+
+    def test_model_satisfies_clauses(self):
+        clauses = [
+            [pos(0), pos(1)],
+            [neg(0), pos(2)],
+            [neg(1), neg(2)],
+            [pos(0), neg(2)],
+        ]
+        s = Solver()
+        for c in clauses:
+            s.add_clause(c)
+        assert s.solve() == SAT
+        check_model(s, clauses)
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        v = s.new_var()
+        assert s.solve([pos(v)]) == SAT
+        assert s.model[v] is True
+        assert s.solve([neg(v)]) == SAT
+        assert s.model[v] is False
+
+    def test_conflicting_assumptions_unsat_then_recover(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([neg(a), pos(b)])
+        assert s.solve([pos(a), neg(b)]) == UNSAT
+        # Without the bad assumption the formula stays satisfiable.
+        assert s.solve([pos(a)]) == SAT
+        assert s.model[b] is True
+
+    def test_incremental_clause_addition(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([pos(a), pos(b)])
+        assert s.solve() == SAT
+        s.add_clause([neg(a)])
+        s.add_clause([neg(b)])
+        assert s.solve() == UNSAT
+
+    def test_assumptions_do_not_persist(self):
+        s = Solver()
+        v = s.new_var()
+        assert s.solve([neg(v)]) == SAT
+        s.add_clause([pos(v)])
+        assert s.solve() == SAT
+        assert s.model[v] is True
+
+
+class TestSolverStress:
+    def test_pigeonhole_4_into_3_unsat(self):
+        # PHP(4,3): 4 pigeons, 3 holes; classic UNSAT instance that
+        # exercises conflict analysis and learning.
+        s = Solver()
+        holes = 3
+        pigeons = 4
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[p, h] = s.new_var()
+        for p in range(pigeons):
+            s.add_clause([pos(var[p, h]) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([neg(var[p1, h]), neg(var[p2, h])])
+        assert s.solve() == UNSAT
+
+    def test_random_3sat_agrees_with_brute_force(self):
+        rng = random.Random(42)
+        for trial in range(40):
+            nv = rng.randint(3, 8)
+            nc = rng.randint(2, 4 * nv)
+            clauses = []
+            for _ in range(nc):
+                width = rng.randint(1, 3)
+                vs = rng.sample(range(nv), min(width, nv))
+                clauses.append(
+                    [pos(v) if rng.random() < 0.5 else neg(v) for v in vs]
+                )
+            s = Solver()
+            for _ in range(nv):
+                s.new_var()
+            for c in clauses:
+                s.add_clause(list(c))
+            expected = brute_force_sat(nv, clauses)
+            result = s.solve()
+            assert result == (SAT if expected else UNSAT), \
+                f"trial {trial}: clauses={clauses}"
+            if result == SAT:
+                check_model(s, clauses)
+
+    def test_conflict_budget_returns_unknown(self):
+        # A hard instance with a conflict budget of 1 should give up.
+        s = Solver()
+        holes, pigeons = 5, 6
+        var = {(p, h): s.new_var() for p in range(pigeons)
+               for h in range(holes)}
+        for p in range(pigeons):
+            s.add_clause([pos(var[p, h]) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([neg(var[p1, h]), neg(var[p2, h])])
+        assert s.solve(conflict_budget=1) == UNKNOWN
+        # And with no budget it finishes.
+        assert s.solve() == UNSAT
+
+    def test_many_incremental_solves(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(10)]
+        for i in range(9):
+            s.add_clause([neg(vs[i]), pos(vs[i + 1])])
+        for i in range(10):
+            assert s.solve([pos(vs[0])]) == SAT
+            assert all(s.model[v] for v in vs)

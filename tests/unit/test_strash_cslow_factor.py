@@ -1,0 +1,160 @@
+"""Unit tests for STRASH and c-slow factor inference."""
+
+import pytest
+
+from repro.core import StepKind, TBVEngine
+from repro.netlist import GateType, NetlistBuilder, NetlistError, s27
+from repro.sim import BitParallelSimulator
+from repro.transform import cslow_abstract, max_cslow_factor, strash
+
+
+class TestStrash:
+    def test_demorgan_duals_merge(self):
+        # NAND(a, b) and NOT(AND(b, a)) become one node in the AIG.
+        b = NetlistBuilder("dm")
+        x, y = b.input("x"), b.input("y")
+        g1 = b.net.add_gate(GateType.NAND, (x, y))
+        g2 = b.net.add_gate(GateType.NOT,
+                            (b.net.add_gate(GateType.AND, (y, x)),))
+        r1 = b.register(g1, name="r1")
+        r2 = b.register(g2, name="r2")
+        t = b.buf(b.xor(r1, r2), name="t")
+        b.net.add_target(t)
+        result = strash(b.net)
+        assert result.step.kind is StepKind.TRACE_EQUIVALENT
+        # The registers now share one physical next-state vertex: the
+        # AIG merged NAND(x, y) with NOT(AND(y, x)) structurally.
+        out = result.netlist
+        nexts = {out.gate(r).fanins[0] for r in out.registers}
+        assert len(nexts) == 1
+
+    def test_behaviour_preserved_on_s27(self):
+        net = s27()
+        result = strash(net)
+        mapped = result.step.target_map[net.targets[0]]
+
+        def stim(n):
+            def f(vid, cycle):
+                return (hash((n.gate(vid).name, cycle)) >> 1) & 1
+            return f
+
+        tr_a = BitParallelSimulator(net).run(8, stim(net),
+                                             observe=[net.targets[0]])
+        tr_b = BitParallelSimulator(result.netlist).run(
+            8, stim(result.netlist), observe=[mapped])
+        assert tr_a[net.targets[0]] == tr_b[mapped]
+
+    def test_engine_token(self):
+        net = s27()
+        result = TBVEngine("STRASH").run(net)
+        assert result.chain.steps[0].name == "STRASH"
+        assert result.reports[0].bound is not None
+
+    def test_rejects_latches(self):
+        b = NetlistBuilder()
+        b.latch(b.input("d"), b.input("clk"))
+        b.net.add_target(b.net.latches[0])
+        with pytest.raises(NetlistError):
+            strash(b.net)
+
+
+def ring(length):
+    b = NetlistBuilder(f"ring{length}")
+    regs = [b.register(name=f"r{k}") for k in range(length)]
+    for k in range(length - 1):
+        b.connect(regs[k + 1], regs[k])
+    b.connect(regs[0], b.not_(regs[-1]))
+    b.net.add_target(regs[-1])
+    return b.net
+
+
+class TestMaxCslowFactor:
+    def test_ring_factor_is_length(self):
+        assert max_cslow_factor(ring(4)) == 4
+        assert max_cslow_factor(ring(6)) == 6
+
+    def test_two_rings_gcd(self):
+        b = NetlistBuilder("two")
+        for length in (4, 6):
+            regs = [b.register(name=f"r{length}_{k}")
+                    for k in range(length)]
+            for k in range(length - 1):
+                b.connect(regs[k + 1], regs[k])
+            b.connect(regs[0], b.not_(regs[-1]))
+            b.net.add_target(regs[-1])
+        assert max_cslow_factor(b.net) == 2
+
+    def test_self_loop_forces_one(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        assert max_cslow_factor(b.net) == 1
+
+    def test_acyclic_unconstrained(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        r = b.register(x, name="r")
+        b.net.add_target(r)
+        assert max_cslow_factor(b.net) == 0
+
+    def test_reconvergent_paths_constrain(self):
+        # Two directed paths of lengths 1 and 3 between the same
+        # registers force c | 2.
+        b = NetlistBuilder("reconv")
+        a = b.register(name="a")
+        m1 = b.register(a, name="m1")
+        m2 = b.register(m1, name="m2")
+        c = b.register(b.xor(a, m2), name="c")
+        b.connect(a, b.not_(c))
+        b.net.add_target(c)
+        assert max_cslow_factor(b.net) == 2
+
+    def test_joined_pipelines_do_not_constrain(self):
+        # Paths from *different* sources may differ in length freely.
+        b = NetlistBuilder("join")
+        x, y = b.input("x"), b.input("y")
+        a1 = b.register(x, name="a1")
+        b1 = b.register(y, name="b1")
+        b2 = b.register(b1, name="b2")
+        join = b.register(b.and_(a1, b2), name="j")
+        b.net.add_target(join)
+        assert max_cslow_factor(b.net) == 0
+
+
+class TestAutoCslow:
+    def test_inferred_factor_used(self):
+        net = ring(4)
+        result = cslow_abstract(net)  # c inferred = 4
+        assert result.step.factor == 4
+        assert result.netlist.num_registers() == 1
+
+    def test_engine_token_without_argument(self):
+        net = ring(4)
+        result = TBVEngine("CSLOW").run(net)
+        report = result.reports[0]
+        assert report.bound == 4 * report.transformed_bound
+
+    def test_no_factor_raises(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        with pytest.raises(NetlistError):
+            cslow_abstract(b.net)
+
+    def test_coloring_of_joined_pipelines(self):
+        # Regression: successor-only BFS used to reject this valid
+        # 2-slow design (the second pipeline needs a negative offset).
+        from repro.transform import infer_cslow_coloring
+
+        b = NetlistBuilder("join2")
+        a0 = b.register(name="a0")
+        a1 = b.register(a0, name="a1")
+        c0 = b.register(name="c0")
+        c1 = b.register(c0, name="c1")
+        b.connect(a0, b.not_(a1))
+        b.connect(c0, b.xor(c1, a1))
+        b.net.add_target(c1)
+        colors = infer_cslow_coloring(b.net, 2)
+        assert colors[b.net.by_name("a0")] != colors[b.net.by_name("a1")]

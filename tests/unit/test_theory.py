@@ -1,0 +1,150 @@
+"""Unit tests for Theorems 1-4 and the provenance chain machinery."""
+
+import pytest
+
+from repro.core import (
+    StepKind,
+    TransformChain,
+    TransformResult,
+    TransformStep,
+    UnsoundTransformError,
+    back_translate,
+    back_translate_step,
+    chain_is_sound,
+    theorem1_trace_equivalent,
+    theorem2_retiming,
+    theorem3_state_folding,
+    theorem4_target_enlargement,
+)
+from repro.netlist import Netlist, GateType
+
+
+def make_net(targets=1):
+    net = Netlist("n")
+    for _ in range(targets):
+        net.add_target(net.add_gate(GateType.INPUT))
+    return net
+
+
+class TestTheorems:
+    def test_theorem1_identity(self):
+        assert theorem1_trace_equivalent(7) == 7
+
+    def test_theorem2_adds_lag(self):
+        assert theorem2_retiming(5, 3) == 8
+        assert theorem2_retiming(5, 0) == 5
+
+    def test_theorem2_rejects_negative_lag(self):
+        with pytest.raises(ValueError):
+            theorem2_retiming(5, -1)
+
+    def test_theorem3_multiplies(self):
+        assert theorem3_state_folding(4, 2) == 8
+        assert theorem3_state_folding(4, 1) == 4
+
+    def test_theorem3_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            theorem3_state_folding(4, 0)
+
+    def test_theorem4_adds_depth(self):
+        assert theorem4_target_enlargement(3, 2) == 5
+
+    def test_theorem4_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            theorem4_target_enlargement(3, -1)
+
+
+class TestBackTranslateStep:
+    def test_trace_step(self):
+        step = TransformStep("COM", StepKind.TRACE_EQUIVALENT)
+        assert back_translate_step(9, step) == 9
+
+    def test_retime_step_uses_per_target_lag(self):
+        step = TransformStep("RET", StepKind.RETIME, lags={10: 2, 11: 5})
+        assert back_translate_step(3, step, pre_step_target=10) == 5
+        assert back_translate_step(3, step, pre_step_target=11) == 8
+
+    def test_fold_step(self):
+        step = TransformStep("PHASE", StepKind.STATE_FOLD, factor=2)
+        assert back_translate_step(4, step) == 8
+
+    def test_enlarge_step(self):
+        step = TransformStep("ENLARGE", StepKind.TARGET_ENLARGE, depth=3)
+        assert back_translate_step(4, step) == 7
+
+    def test_unsound_steps_raise(self):
+        for kind in (StepKind.OVERAPPROX, StepKind.UNDERAPPROX):
+            step = TransformStep("X", kind)
+            with pytest.raises(UnsoundTransformError):
+                back_translate_step(4, step)
+
+
+class TestChain:
+    def test_identity_chain(self):
+        net = make_net()
+        chain = TransformChain.identity(net)
+        t = net.targets[0]
+        assert chain.resolve_target(t) == t
+        assert back_translate(chain, t, 5) == 5
+
+    def test_chain_composes_theorems(self):
+        net = make_net()
+        t = net.targets[0]
+        # COM (t -> 100), RET lag 2 (100 -> 200), PHASE c=2 (200 -> 300).
+        chain = TransformChain.identity(net)
+        chain = chain.extend(TransformResult(
+            netlist=net, step=TransformStep(
+                "COM", StepKind.TRACE_EQUIVALENT, target_map={t: 100})))
+        chain = chain.extend(TransformResult(
+            netlist=net, step=TransformStep(
+                "RET", StepKind.RETIME, target_map={100: 200},
+                lags={100: 2})))
+        chain = chain.extend(TransformResult(
+            netlist=net, step=TransformStep(
+                "PHASE", StepKind.STATE_FOLD, target_map={200: 300},
+                factor=2)))
+        assert chain.resolve_target(t) == 300
+        # Reverse order: fold first (4 * 2 = 8), then lag (+2), COM (=10).
+        assert back_translate(chain, t, 4) == 10
+
+    def test_order_matters(self):
+        # RET then PHASE: (d * c) + i  vs  PHASE then RET: (d + i) * c.
+        net = make_net()
+        t = net.targets[0]
+        ret = TransformStep("RET", StepKind.RETIME, target_map={t: t},
+                            lags={t: 3})
+        fold = TransformStep("PHASE", StepKind.STATE_FOLD,
+                             target_map={t: t}, factor=2)
+        chain_rf = TransformChain.identity(net).extend(
+            TransformResult(net, ret)).extend(TransformResult(net, fold))
+        chain_fr = TransformChain.identity(net).extend(
+            TransformResult(net, fold)).extend(TransformResult(net, ret))
+        assert back_translate(chain_rf, t, 5) == 5 * 2 + 3
+        assert back_translate(chain_fr, t, 5) == (5 + 3) * 2
+
+    def test_dropped_target_resolves_none(self):
+        net = make_net()
+        t = net.targets[0]
+        chain = TransformChain.identity(net).extend(TransformResult(
+            netlist=net, step=TransformStep(
+                "COM", StepKind.TRACE_EQUIVALENT, target_map={t: None})))
+        assert chain.resolve_target(t) is None
+
+    def test_unsound_chain_refused(self):
+        net = make_net()
+        t = net.targets[0]
+        chain = TransformChain.identity(net).extend(TransformResult(
+            netlist=net, step=TransformStep(
+                "LOCALIZE", StepKind.OVERAPPROX, target_map={t: t})))
+        assert not chain_is_sound(chain.steps)
+        with pytest.raises(UnsoundTransformError):
+            back_translate(chain, t, 5)
+
+    def test_soundness_flags(self):
+        assert TransformStep("a", StepKind.TRACE_EQUIVALENT)\
+            .is_sound_for_diameter
+        assert TransformStep("b", StepKind.RETIME).is_sound_for_diameter
+        assert not TransformStep("c", StepKind.OVERAPPROX)\
+            .is_sound_for_diameter
+        assert not TransformStep("d", StepKind.UNDERAPPROX)\
+            .is_sound_for_diameter

@@ -1,0 +1,152 @@
+"""Unit tests for the command-line tools and VCD writer."""
+
+import pytest
+
+from repro.netlist import NetlistBuilder, NetlistError, s27, write_bench
+from repro.sim import BitParallelSimulator
+from repro.tools import load_netlist, save_netlist, trace_to_vcd
+from repro.tools.bound import main as bound_main
+from repro.tools.check import main as check_main
+from repro.tools.convert import main as convert_main
+from repro.tools.vcd import counterexample_to_vcd
+from repro.unroll import bmc
+
+
+@pytest.fixture
+def s27_bench(tmp_path):
+    path = tmp_path / "s27.bench"
+    path.write_text(write_bench(s27()))
+    return str(path)
+
+
+class TestFileIO:
+    def test_bench_round_trip(self, tmp_path, s27_bench):
+        net = load_netlist(s27_bench)
+        assert net.num_registers() == 3
+        out = tmp_path / "copy.bench"
+        save_netlist(net, str(out))
+        again = load_netlist(str(out))
+        assert again.num_registers() == 3
+
+    def test_aiger_round_trip(self, tmp_path, s27_bench):
+        net = load_netlist(s27_bench)
+        out = tmp_path / "s27.aag"
+        save_netlist(net, str(out))
+        again = load_netlist(str(out))
+        assert again.num_registers() == 3
+        assert len(again.inputs) == 4
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        bad = tmp_path / "x.v"
+        bad.write_text("")
+        with pytest.raises(NetlistError):
+            load_netlist(str(bad))
+        with pytest.raises(NetlistError):
+            save_netlist(s27(), str(tmp_path / "y.v"))
+
+
+class TestVCD:
+    def test_basic_dump(self):
+        b = NetlistBuilder("wave")
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        trace = BitParallelSimulator(b.net).run(4, lambda v, c: 0,
+                                                observe=[r])
+        text = trace_to_vcd(b.net, trace)
+        assert "$var wire 1" in text
+        assert " r $end" in text
+        # Toggling register changes value at every cycle.
+        assert text.count("#") >= 4
+
+    def test_only_changes_emitted(self):
+        b = NetlistBuilder("const")
+        r = b.register(name="r")
+        b.connect(r, r)
+        b.net.add_target(r)
+        trace = BitParallelSimulator(b.net).run(5, lambda v, c: 0,
+                                                observe=[r])
+        text = trace_to_vcd(b.net, trace)
+        # One initial value line only (value never changes).
+        value_lines = [ln for ln in text.splitlines()
+                       if ln and ln[0] in "01" and not
+                       ln.startswith("1 ns")]
+        assert len(value_lines) == 1
+
+    def test_mismatched_lengths_rejected(self):
+        net = s27()
+        with pytest.raises(ValueError):
+            trace_to_vcd(net, {0: [0, 1], 1: [0]})
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_to_vcd(s27(), {})
+
+    def test_counterexample_dump(self):
+        b = NetlistBuilder("hit")
+        sig = b.input("i")
+        for k in range(2):
+            sig = b.register(sig, name=f"p{k}")
+        b.net.add_target(sig)
+        result = bmc(b.net, sig, max_depth=5)
+        text = counterexample_to_vcd(b.net, sig, result.counterexample)
+        assert "$enddefinitions" in text
+        assert " i $end" in text
+
+
+class TestCLIs:
+    def test_bound_cli(self, capsys, s27_bench):
+        assert bound_main([s27_bench, "--strategy", "COM"]) == 0
+        out = capsys.readouterr().out
+        assert "G17" in out
+        assert "|T'|/|T| = 1/1" in out
+
+    def test_bound_cli_recurrence_bounder(self, capsys, s27_bench):
+        assert bound_main([s27_bench, "--strategy", "",
+                           "--bounder", "recurrence"]) == 0
+        out = capsys.readouterr().out
+        assert "d̂(t)" in out
+
+    def test_check_cli_bmc_finds_hit(self, capsys, s27_bench, tmp_path):
+        vcd_path = tmp_path / "cex.vcd"
+        rc = check_main([s27_bench, "--vcd", str(vcd_path)])
+        assert rc == 1  # target is hittable
+        assert vcd_path.exists()
+        assert "FALSIFIED" in capsys.readouterr().out
+
+    def test_check_cli_induction(self, capsys, tmp_path):
+        b = NetlistBuilder("stuck")
+        r = b.register(name="r")
+        b.connect(r, r)
+        b.net.add_target(b.buf(r, name="t"))
+        b.net.add_output(b.net.targets[0])
+        path = tmp_path / "stuck.bench"
+        path.write_text(write_bench(b.net))
+        rc = check_main([str(path), "--method", "induction"])
+        assert rc == 0
+        assert "PROVEN" in capsys.readouterr().out
+
+    def test_check_cli_cegar(self, capsys, tmp_path):
+        b = NetlistBuilder("stuck2")
+        r = b.register(name="r")
+        b.connect(r, r)
+        b.net.add_target(b.buf(r, name="t"))
+        b.net.add_output(b.net.targets[0])
+        path = tmp_path / "stuck2.bench"
+        path.write_text(write_bench(b.net))
+        rc = check_main([str(path), "--method", "cegar"])
+        assert rc == 0
+        assert "PROVEN" in capsys.readouterr().out
+
+    def test_convert_cli(self, capsys, s27_bench, tmp_path):
+        dest = tmp_path / "out.aag"
+        assert convert_main([s27_bench, str(dest)]) == 0
+        assert dest.exists()
+        assert load_netlist(str(dest)).num_registers() == 3
+
+    def test_convert_cli_with_transform(self, capsys, s27_bench,
+                                        tmp_path):
+        dest = tmp_path / "out2.aag"
+        assert convert_main([s27_bench, str(dest),
+                             "--transform", "COM"]) == 0
+        assert load_netlist(str(dest)).num_registers() <= 3

@@ -1,0 +1,157 @@
+"""Unit tests for unrolling, BMC and k-induction."""
+
+from repro.netlist import GateType, NetlistBuilder, s27
+from repro.unroll import (
+    BOUNDED,
+    FALSIFIED,
+    PROVEN,
+    Unrolling,
+    bmc,
+    k_induction,
+    replay_counterexample,
+)
+from repro.sat import SAT, UNSAT
+
+
+def counter_target(width, hit_value):
+    """A width-bit counter with a target asserting counter == hit_value."""
+    b = NetlistBuilder(f"counter{width}")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.word_eq(regs, b.word_const(hit_value, width))
+    t = b.buf(t, name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+def unreachable_target():
+    """r holds 0 forever; target r is unreachable."""
+    b = NetlistBuilder("stuck")
+    r = b.register(name="r")
+    b.connect(r, r)
+    b.net.add_target(r)
+    return b.net, r
+
+
+class TestUnrolling:
+    def test_frames_are_cached(self):
+        net, _ = counter_target(2, 3)
+        u = Unrolling(net)
+        f1 = u.frame(1)
+        assert u.frame(1) is f1
+        assert len(u.frames) == 2
+
+    def test_state_chaining(self):
+        # Toggler: state at frame 1 is NOT of state at frame 0 = 1.
+        b = NetlistBuilder()
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        u = Unrolling(b.net)
+        lit0 = u.literal(r, 0)
+        lit1 = u.literal(r, 1)
+        assert u.solver.solve([lit0]) == UNSAT  # starts at 0
+        assert u.solver.solve([lit1]) == SAT
+
+    def test_unconstrained_init(self):
+        b = NetlistBuilder()
+        r = b.register(name="r")  # init 0
+        b.connect(r, r)
+        b.net.add_target(r)
+        u = Unrolling(b.net, constrain_init=False)
+        assert u.solver.solve([u.literal(r, 0)]) == SAT
+
+    def test_latch_unrolls_as_hold_mux(self):
+        b = NetlistBuilder()
+        d, clk = b.input("d"), b.input("clk")
+        lat = b.latch(d, clk, name="l")
+        b.net.add_target(lat)
+        u = Unrolling(b.net)
+        # Latch value at frame 0 is its initial 0.
+        assert u.solver.solve([u.literal(lat, 0)]) == UNSAT
+        # At frame 1 it can be 1 (clock and data high at frame 0).
+        assert u.solver.solve([u.literal(lat, 1)]) == SAT
+
+
+class TestBMC:
+    def test_finds_counter_hit_at_exact_depth(self):
+        net, t = counter_target(3, 5)
+        result = bmc(net, t, max_depth=10)
+        assert result.status == FALSIFIED
+        assert result.counterexample.depth == 5
+
+    def test_bounded_when_window_too_small(self):
+        net, t = counter_target(3, 5)
+        result = bmc(net, t, max_depth=4)
+        assert result.status == BOUNDED
+        assert not result.is_complete
+
+    def test_proven_with_complete_bound(self):
+        net, t = unreachable_target()
+        result = bmc(net, t, max_depth=100, complete_bound=2)
+        assert result.status == PROVEN
+        assert result.is_complete
+
+    def test_depth_zero_hit(self):
+        b = NetlistBuilder()
+        i = b.input("i")
+        b.net.add_target(i)
+        result = bmc(b.net, max_depth=3)
+        assert result.status == FALSIFIED
+        assert result.counterexample.depth == 0
+
+    def test_counterexample_replays(self):
+        net, t = counter_target(2, 2)
+        result = bmc(net, t, max_depth=5)
+        assert result.status == FALSIFIED
+        assert replay_counterexample(net, t, result.counterexample)
+
+    def test_nondeterministic_init_found_immediately(self):
+        b = NetlistBuilder()
+        iv = b.input("iv")
+        r = b.register(None, init=iv, name="r")
+        b.connect(r, r)
+        b.net.add_target(r)
+        result = bmc(b.net, max_depth=2)
+        assert result.status == FALSIFIED
+        assert result.counterexample.depth == 0
+
+    def test_s27_output_hittable(self):
+        net = s27()
+        result = bmc(net, max_depth=4)
+        # With the all-zero initial state G17 = NOT(G11) is 1 at once.
+        assert result.status == FALSIFIED
+        assert result.counterexample.depth == 0
+
+
+class TestKInduction:
+    def test_proves_stuck_register(self):
+        net, t = unreachable_target()
+        result = k_induction(net, t, max_k=3)
+        assert result.status == PROVEN
+
+    def test_falsifies_reachable_target(self):
+        net, t = counter_target(2, 3)
+        result = k_induction(net, t, max_k=6)
+        assert result.status == FALSIFIED
+
+    def test_proves_mutual_exclusion_invariant(self):
+        # Two one-hot tokens r0, r1 rotating; target = both zero,
+        # which never happens from the one-hot initial state.
+        b = NetlistBuilder()
+        r0 = b.register(None, init=b.const1, name="r0")
+        r1 = b.register(None, init=b.const0, name="r1")
+        b.connect(r0, r1)
+        b.connect(r1, r0)
+        t = b.buf(b.and_(b.not_(r0), b.not_(r1)), name="t")
+        b.net.add_target(t)
+        result = k_induction(b.net, t, max_k=4)
+        assert result.status == PROVEN
+
+    def test_inconclusive_returns_bounded(self):
+        # A 3-bit counter whose target is value 7 reached at depth 7:
+        # plain k-induction with tiny max_k cannot conclude, because
+        # base cases only cover max_k + 1 depths.
+        net, t = counter_target(3, 7)
+        result = k_induction(net, t, max_k=2)
+        assert result.status == BOUNDED

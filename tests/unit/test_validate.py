@@ -1,0 +1,95 @@
+"""Unit tests for netlist validation."""
+
+import pytest
+
+from repro.netlist import (
+    ERROR,
+    GateType,
+    Netlist,
+    NetlistBuilder,
+    NetlistError,
+    WARNING,
+    assert_valid,
+    s27,
+    validate,
+)
+
+
+class TestValidate:
+    def test_clean_netlist(self):
+        issues = validate(s27())
+        assert all(i.severity != ERROR for i in issues)
+
+    def test_combinational_cycle_is_error(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        g1 = b.net.add_gate(GateType.AND, (x, x))
+        g2 = b.net.add_gate(GateType.AND, (g1, x))
+        b.net.set_fanins(g1, (g2, x))
+        issues = validate(b.net)
+        assert any(i.code == "comb-cycle" and i.severity == ERROR
+                   for i in issues)
+        with pytest.raises(NetlistError):
+            assert_valid(b.net)
+
+    def test_dangling_gate_warned(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        b.net.add_gate(GateType.NOT, (x,))  # drives nothing
+        issues = validate(b.net)
+        assert any(i.code == "dangling" for i in issues)
+
+    def test_observed_gate_not_dangling(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        g = b.net.add_gate(GateType.NOT, (x,))
+        b.net.add_target(g)
+        issues = validate(b.net)
+        assert not any(i.code == "dangling" for i in issues)
+
+    def test_trivial_target_warned(self):
+        net = Netlist("triv")
+        c0 = net.const0()
+        net.add_target(c0)
+        issues = validate(net)
+        assert any(i.code == "trivial-target" for i in issues)
+
+    def test_duplicate_targets_warned(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        b.net.add_target(x)
+        b.net.add_target(x)
+        issues = validate(b.net)
+        assert any(i.code == "dup-targets" for i in issues)
+
+    def test_dead_clock_warned(self):
+        b = NetlistBuilder()
+        lat = b.latch(b.input("d"), b.const0)
+        b.net.add_target(lat)
+        issues = validate(b.net)
+        assert any(i.code == "dead-clock" for i in issues)
+
+    def test_self_init_warned(self):
+        net = Netlist("si")
+        c0 = net.const0()
+        r = net.add_gate(GateType.REGISTER, (c0, c0))
+        net.set_fanins(r, (r, r))
+        net.add_target(r)
+        issues = validate(net)
+        assert any(i.code == "self-init" for i in issues)
+
+    def test_errors_sorted_first(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        b.net.add_gate(GateType.NOT, (x,))  # dangling warning
+        g1 = b.net.add_gate(GateType.AND, (x, x))
+        g2 = b.net.add_gate(GateType.AND, (g1, x))
+        b.net.set_fanins(g1, (g2, x))  # cycle error
+        issues = validate(b.net)
+        assert issues[0].severity == ERROR
+
+    def test_assert_valid_passes_warnings(self):
+        b = NetlistBuilder()
+        x = b.input("x")
+        b.net.add_gate(GateType.NOT, (x,))  # warning only
+        assert_valid(b.net)  # must not raise
