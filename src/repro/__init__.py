@@ -7,6 +7,8 @@ Subpackages
     Gate-level netlist model, builder, traversal, BENCH I/O.
 ``repro.sim``
     Two- and three-valued simulation.
+``repro.obs``
+    Instrumentation: hierarchical timers, counters, event traces.
 ``repro.sat``
     CDCL SAT solver, CNF, Tseitin encoding.
 ``repro.bdd``

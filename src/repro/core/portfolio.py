@@ -11,10 +11,10 @@ so their minimum is sound.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..netlist import Netlist, NetlistError
 from .engine import EngineResult, PROVEN, TBVEngine
 
@@ -105,19 +105,29 @@ def compare_strategies(
     refine_gc_limit: int = 0,
 ) -> PortfolioResult:
     """Run every strategy; failures (e.g. CSLOW on a non-c-slow
-    netlist) are recorded, not raised."""
+    netlist) are recorded, not raised.
+
+    Each strategy runs under the obs span ``portfolio/<strategy>``, so
+    per-strategy wall-time and the solver effort spent inside it land
+    in the active registry; ``StrategyOutcome.seconds`` is the span's
+    own duration (monotonic).
+    """
     portfolio = PortfolioResult(net=net)
-    for strategy in strategies:
-        start = time.perf_counter()
-        try:
-            result = TBVEngine(strategy,
-                               sweep_config=sweep_config,
-                               refine_gc_limit=refine_gc_limit).run(net)
-            portfolio.outcomes.append(StrategyOutcome(
-                strategy=strategy, result=result,
-                seconds=time.perf_counter() - start))
-        except (NetlistError, ValueError) as exc:
-            portfolio.outcomes.append(StrategyOutcome(
-                strategy=strategy, error=str(exc),
-                seconds=time.perf_counter() - start))
+    reg = obs.get_registry()
+    with reg.span("portfolio"):
+        for strategy in strategies:
+            label = strategy or "(none)"
+            try:
+                with reg.span(label) as strategy_span:
+                    result = TBVEngine(
+                        strategy, sweep_config=sweep_config,
+                        refine_gc_limit=refine_gc_limit).run(net)
+                portfolio.outcomes.append(StrategyOutcome(
+                    strategy=strategy, result=result,
+                    seconds=strategy_span.seconds))
+            except (NetlistError, ValueError) as exc:
+                reg.counter("portfolio.failures")
+                portfolio.outcomes.append(StrategyOutcome(
+                    strategy=strategy, error=str(exc),
+                    seconds=strategy_span.seconds))
     return portfolio

@@ -9,10 +9,10 @@ and localization refinement when bounds stay impractical.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..netlist import Netlist
 from ..transform.localize_cegar import localization_refinement
 from ..unroll import Counterexample, FALSIFIED as BMCFALSIFIED, \
@@ -62,73 +62,88 @@ def prove(
         if not net.targets:
             raise ValueError("netlist has no targets")
         target = net.targets[0]
-    start = time.perf_counter()
+    watch = obs.stopwatch()
+    reg = obs.get_registry()
     log: List[str] = []
 
-    scoped = net.copy()
-    scoped.targets = [target]
-    portfolio = compare_strategies(scoped, strategies=strategies,
-                                   sweep_config=sweep_config,
-                                   refine_gc_limit=refine_gc_limit)
-    bound, strategy = portfolio.best(target)
-    log.append(f"portfolio best bound: {bound} via "
-               f"{strategy or '(none)'}")
-    if bound == 0:
-        return ProofResult(PROVEN, "transformation", target, bound=0,
-                           strategy=strategy, log=log,
-                           seconds=time.perf_counter() - start)
-    if bound is not None and bound <= max_complete_depth:
-        check = bmc(net, target, max_depth=bound, complete_bound=bound)
-        log.append(f"complete BMC to {bound}: {check.status}")
-        if check.status == BMC_PROVEN:
-            return ProofResult(PROVEN, "complete-bmc", target,
-                               bound=bound, strategy=strategy, log=log,
-                               seconds=time.perf_counter() - start)
-        if check.status == BMCFALSIFIED:
-            return ProofResult(FALSIFIED, "complete-bmc", target,
-                               bound=bound, strategy=strategy,
-                               counterexample=check.counterexample,
-                               log=log,
-                               seconds=time.perf_counter() - start)
+    with reg.span("prove"):
+        scoped = net.copy()
+        scoped.targets = [target]
+        portfolio = compare_strategies(scoped, strategies=strategies,
+                                       sweep_config=sweep_config,
+                                       refine_gc_limit=refine_gc_limit)
+        bound, strategy = portfolio.best(target)
+        log.append(f"portfolio best bound: {bound} via "
+                   f"{strategy or '(none)'}")
+        if bound == 0:
+            reg.counter("prove.proven.transformation")
+            return ProofResult(PROVEN, "transformation", target, bound=0,
+                               strategy=strategy, log=log,
+                               seconds=watch.elapsed)
+        if bound is not None and bound <= max_complete_depth:
+            with reg.span("complete-bmc"):
+                check = bmc(net, target, max_depth=bound,
+                            complete_bound=bound)
+            log.append(f"complete BMC to {bound}: {check.status}")
+            if check.status == BMC_PROVEN:
+                reg.counter("prove.proven.complete-bmc")
+                return ProofResult(PROVEN, "complete-bmc", target,
+                                   bound=bound, strategy=strategy,
+                                   log=log, seconds=watch.elapsed)
+            if check.status == BMCFALSIFIED:
+                reg.counter("prove.falsified.complete-bmc")
+                return ProofResult(FALSIFIED, "complete-bmc", target,
+                                   bound=bound, strategy=strategy,
+                                   counterexample=check.counterexample,
+                                   log=log, seconds=watch.elapsed)
 
-    quick = bmc(net, target, max_depth=quick_bmc_depth)
-    log.append(f"quick BMC to {quick_bmc_depth}: {quick.status}")
-    if quick.status == BMCFALSIFIED:
-        return ProofResult(FALSIFIED, "bmc", target, bound=bound,
-                           counterexample=quick.counterexample, log=log,
-                           seconds=time.perf_counter() - start)
+        with reg.span("quick-bmc"):
+            quick = bmc(net, target, max_depth=quick_bmc_depth)
+        log.append(f"quick BMC to {quick_bmc_depth}: {quick.status}")
+        if quick.status == BMCFALSIFIED:
+            reg.counter("prove.falsified.bmc")
+            return ProofResult(FALSIFIED, "bmc", target, bound=bound,
+                               counterexample=quick.counterexample,
+                               log=log, seconds=watch.elapsed)
 
-    induct = k_induction(net, target, max_k=induction_k)
-    log.append(f"k-induction to k={induction_k}: {induct.status}")
-    if induct.status == BMC_PROVEN:
-        return ProofResult(PROVEN, "k-induction", target, bound=bound,
-                           log=log,
-                           seconds=time.perf_counter() - start)
-    if induct.status == BMCFALSIFIED:
-        return ProofResult(FALSIFIED, "k-induction", target,
-                           bound=bound,
-                           counterexample=induct.counterexample,
-                           log=log,
-                           seconds=time.perf_counter() - start)
-
-    cegar = localization_refinement(net, target,
-                                    max_depth=max_complete_depth)
-    log.append(f"localization refinement: {cegar.status} "
-               f"({cegar.iterations} iteration(s))")
-    if cegar.status == "proven":
-        return ProofResult(PROVEN, "localization", target, bound=bound,
-                           log=log,
-                           seconds=time.perf_counter() - start)
-    if cegar.status == "falsified":
-        concrete = bmc(net, target,
-                       max_depth=(cegar.counterexample_depth or 0) + 1)
-        if concrete.status == BMCFALSIFIED:
-            return ProofResult(FALSIFIED, "localization", target,
+        with reg.span("k-induction"):
+            induct = k_induction(net, target, max_k=induction_k)
+        log.append(f"k-induction to k={induction_k}: {induct.status}")
+        if induct.status == BMC_PROVEN:
+            reg.counter("prove.proven.k-induction")
+            return ProofResult(PROVEN, "k-induction", target,
+                               bound=bound, log=log,
+                               seconds=watch.elapsed)
+        if induct.status == BMCFALSIFIED:
+            reg.counter("prove.falsified.k-induction")
+            return ProofResult(FALSIFIED, "k-induction", target,
                                bound=bound,
-                               counterexample=concrete.counterexample,
-                               log=log,
-                               seconds=time.perf_counter() - start)
+                               counterexample=induct.counterexample,
+                               log=log, seconds=watch.elapsed)
 
+        with reg.span("localization"):
+            cegar = localization_refinement(net, target,
+                                            max_depth=max_complete_depth)
+        log.append(f"localization refinement: {cegar.status} "
+                   f"({cegar.iterations} iteration(s))")
+        if cegar.status == "proven":
+            reg.counter("prove.proven.localization")
+            return ProofResult(PROVEN, "localization", target,
+                               bound=bound, log=log,
+                               seconds=watch.elapsed)
+        if cegar.status == "falsified":
+            with reg.span("localization"):
+                concrete = bmc(
+                    net, target,
+                    max_depth=(cegar.counterexample_depth or 0) + 1)
+            if concrete.status == BMCFALSIFIED:
+                reg.counter("prove.falsified.localization")
+                return ProofResult(FALSIFIED, "localization", target,
+                                   bound=bound,
+                                   counterexample=concrete.counterexample,
+                                   log=log, seconds=watch.elapsed)
+
+    reg.counter("prove.unknown")
     return ProofResult(UNKNOWN, "exhausted", target, bound=bound,
                        strategy=strategy, log=log,
-                       seconds=time.perf_counter() - start)
+                       seconds=watch.elapsed)

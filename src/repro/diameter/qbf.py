@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..netlist import GateType, Netlist
 from ..sat import CnfSink, encode_frame, encode_mux, encode_xor2, \
     lit_not, pos
@@ -139,15 +140,20 @@ def qbf_initial_diameter(net: Netlist, max_k: int = 32,
     induction on path length) — i.e. exactly ``initial_depth``.
     """
     checks: List[QBFResult] = []
-    for k in range(max_k + 1):
-        result = qbf_initial_diameter_check(
-            net, k, max_iterations=max_iterations,
-            conflict_budget=conflict_budget)
-        checks.append(result)
-        if not result.exact:
-            return QBFDiameterResult(bound=k + 1, exact=False,
-                                     checks=checks)
-        if result.valid:
-            return QBFDiameterResult(bound=k + 1, exact=True,
-                                     checks=checks)
+    reg = obs.get_registry()
+    with reg.span("diameter.qbf"):
+        for k in range(max_k + 1):
+            with reg.span("check") as check_span:
+                result = qbf_initial_diameter_check(
+                    net, k, max_iterations=max_iterations,
+                    conflict_budget=conflict_budget)
+            reg.event("qbf.check", k=k, valid=result.valid,
+                      exact=result.exact, seconds=check_span.seconds)
+            checks.append(result)
+            if not result.exact:
+                return QBFDiameterResult(bound=k + 1, exact=False,
+                                         checks=checks)
+            if result.valid:
+                return QBFDiameterResult(bound=k + 1, exact=True,
+                                         checks=checks)
     return QBFDiameterResult(bound=max_k + 2, exact=False, checks=checks)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..netlist import Netlist
 from ..sat import UNKNOWN, UNSAT
 from ..unroll import Unrolling, add_state_difference
@@ -56,19 +57,27 @@ def recurrence_diameter(
     unroll = Unrolling(net, constrain_init=from_init)
     k = 1
     longest = 0
-    while k <= max_k:
-        unroll.frame(k - 1)  # ensure frames 0..k-1 and state k exist
-        # Add distinctness between the newest state and all others.
-        for i in range(k):
-            add_state_difference(unroll.sink, unroll.state_lits[i],
-                                 unroll.state_lits[k])
-        result = unroll.solver.solve(conflict_budget=conflict_budget)
-        if result == UNSAT:
-            return RecurrenceResult(bound=k, exact=True, longest_path=k - 1)
-        if result == UNKNOWN:
-            return RecurrenceResult(bound=k, exact=False, longest_path=longest)
-        longest = k
-        k += 1
+    reg = obs.get_registry()
+    with reg.span("diameter.recurrence"):
+        while k <= max_k:
+            unroll.frame(k - 1)  # ensure frames 0..k-1 and state k exist
+            # Add distinctness between the newest state and all others.
+            for i in range(k):
+                add_state_difference(unroll.sink, unroll.state_lits[i],
+                                     unroll.state_lits[k])
+            with reg.span("step") as step_span:
+                result = unroll.solver.solve(
+                    conflict_budget=conflict_budget)
+            reg.event("recurrence.step", k=k, result=result,
+                      seconds=step_span.seconds)
+            if result == UNSAT:
+                return RecurrenceResult(bound=k, exact=True,
+                                        longest_path=k - 1)
+            if result == UNKNOWN:
+                return RecurrenceResult(bound=k, exact=False,
+                                        longest_path=longest)
+            longest = k
+            k += 1
     return RecurrenceResult(bound=max_k + 1, exact=False, longest_path=longest)
 
 

@@ -46,6 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from .. import obs
 from ..netlist import (
     GateType,
     Netlist,
@@ -202,7 +203,13 @@ class StructuralAnalysis:
         self._bound_cache: Dict[Component, int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
         self._gc_states_cache: Dict[Component, int] = {}
-        self._decompose()
+        with obs.span("diameter.structural"):
+            self._decompose()
+        reg = obs.get_registry()
+        for kind, count in self.register_profile().items():
+            if count:
+                reg.counter(f"structural.registers.{kind}", count)
+        reg.counter("structural.components", len(self.components))
 
     # ------------------------------------------------------------------
     # Decomposition and classification
@@ -416,7 +423,9 @@ class StructuralAnalysis:
             return 1 << comp.size
         if comp in self._gc_states_cache:
             return self._gc_states_cache[comp]
-        count = self._reachable_component_states(comp)
+        with obs.span("diameter.structural/gc_refine"):
+            count = self._reachable_component_states(comp)
+        obs.counter("structural.gc_refinements")
         self._gc_states_cache[comp] = count
         return count
 

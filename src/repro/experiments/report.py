@@ -14,9 +14,9 @@ from __future__ import annotations
 
 import argparse
 import platform
-import time
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..gen import gp, iscas89
 from .compare import compare_useful_fractions, format_comparison
 from .runner import RowResult, cumulative, format_table
@@ -42,7 +42,9 @@ def generate_report(scale: float = 0.35,
                     designs_t1: Optional[Sequence[str]] = None,
                     designs_t2: Optional[Sequence[str]] = None) -> str:
     """Run both tables and render a markdown report."""
-    start = time.time()
+    # Monotonic timing (obs.Stopwatch wraps perf_counter): time.time()
+    # is subject to NTP steps and can yield negative durations.
+    watch = obs.stopwatch()
     lines: List[str] = [
         "# Experimental report (generated)",
         "",
@@ -51,8 +53,9 @@ def generate_report(scale: float = 0.35,
         f"{platform.system()} {platform.machine()}",
         "",
     ]
-    rows1 = run_table1(scale=scale, designs=designs_t1,
-                       max_registers=max_registers)
+    with obs.span("report/table1"):
+        rows1 = run_table1(scale=scale, designs=designs_t1,
+                           max_registers=max_registers)
     lines.append("```")
     lines.append(format_table(rows1, "Table 1: ISCAS89 "
                                      "(profile-synthesized)"))
@@ -66,8 +69,9 @@ def generate_report(scale: float = 0.35,
     lines.append("```")
     lines.append("")
 
-    rows2 = run_table2(scale=scale, designs=designs_t2,
-                       max_registers=max_registers)
+    with obs.span("report/table2"):
+        rows2 = run_table2(scale=scale, designs=designs_t2,
+                           max_registers=max_registers)
     lines.append("```")
     lines.append(format_table(rows2, "Table 2: GP (profile-synthesized,"
                                      " phase-abstracted)"))
@@ -97,7 +101,7 @@ def generate_report(scale: float = 0.35,
             f"(paper full-scale: "
             f"{' → '.join(f'{x:.1%}' for x in paper_frac)})")
     lines.append("")
-    lines.append(f"_Generated in {time.time() - start:.1f} s._")
+    lines.append(f"_Generated in {watch.elapsed:.1f} s._")
     return "\n".join(lines) + "\n"
 
 

@@ -16,10 +16,10 @@ average bound over ``T'`` — exactly the quantities of Tables 1 and 2.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..core import TBVEngine
 from ..diameter.structural import StructuralAnalysis
 from ..gen.profiles import USEFUL_THRESHOLD, DesignProfile
@@ -84,20 +84,25 @@ def evaluate_design(net: Netlist,
     sweep_config = sweep_config or EXPERIMENT_SWEEP
     strategies = strategy_map or _STRATEGY
     row = RowResult(net.name)
-    for pipeline in pipelines:
-        start = time.perf_counter()
-        engine = TBVEngine(strategies[pipeline],
-                           sweep_config=sweep_config)
-        result = engine.run(net)
-        analysis = StructuralAnalysis(result.netlist)
-        useful = result.useful(threshold)
-        row.columns[pipeline] = ColumnResult(
-            profile=_profile_tuple(analysis),
-            useful=len(useful),
-            targets=len(net.targets),
-            average=result.average_bound(threshold),
-            seconds=time.perf_counter() - start,
-        )
+    reg = obs.get_registry()
+    with reg.span(f"experiment/{net.name}"):
+        for pipeline in pipelines:
+            # The per-pipeline span doubles as the table's time column:
+            # monotonic, and visible in any enclosing obs snapshot
+            # (e.g. the bench harness) as experiment/<design>/<col>.
+            with reg.span(pipeline) as column_span:
+                engine = TBVEngine(strategies[pipeline],
+                                   sweep_config=sweep_config)
+                result = engine.run(net)
+                analysis = StructuralAnalysis(result.netlist)
+                useful = result.useful(threshold)
+            row.columns[pipeline] = ColumnResult(
+                profile=_profile_tuple(analysis),
+                useful=len(useful),
+                targets=len(net.targets),
+                average=result.average_bound(threshold),
+                seconds=column_span.seconds,
+            )
     return row
 
 

@@ -1,0 +1,48 @@
+"""Observability: hierarchical timers, counters, and event traces.
+
+The measurement substrate for every engine in the library.  Zero
+dependencies (stdlib only) and import-cycle-free: nothing in
+``repro.obs`` imports from the rest of ``repro``, so the SAT solver
+and every transformation can publish telemetry without layering
+concerns.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.span("diameter/structural"):
+        ...
+        obs.counter("structural.components", len(components))
+
+    obs.get_registry().snapshot()   # plain-JSON timers/counters/events
+
+Tests and benchmarks isolate their measurements with ``obs.scoped()``::
+
+    with obs.scoped() as reg:
+        run_workload()
+        assert reg.counter_value("sat.conflicts") > 0
+"""
+
+from .registry import (
+    Registry,
+    SpanHandle,
+    Stopwatch,
+    counter,
+    event,
+    get_registry,
+    scoped,
+    span,
+    stopwatch,
+)
+
+__all__ = [
+    "Registry",
+    "SpanHandle",
+    "Stopwatch",
+    "counter",
+    "event",
+    "get_registry",
+    "scoped",
+    "span",
+    "stopwatch",
+]

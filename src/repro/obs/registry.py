@@ -1,0 +1,247 @@
+"""The instrumentation registry: timers, counters and an event trace.
+
+Everything in this module is pure stdlib and deliberately cheap: a
+span entry/exit is two :func:`time.perf_counter` calls plus a couple
+of dict operations, so engines can instrument their hot-path
+*boundaries* (a SAT ``solve()`` call, a sweep round, a BMC frame)
+without measurable overhead.  Do **not** instrument per-literal or
+per-propagation work — keep raw integer counters there and publish
+them as deltas at a call boundary (see ``Solver.solve``).
+
+Design points:
+
+* **Monotonic time only.**  All durations come from
+  :func:`time.perf_counter`; wall-clock (`time.time`) is never used,
+  so NTP steps cannot produce negative or garbage durations.
+* **Hierarchical spans.**  Spans nest; a span opened while another is
+  active records under the joined path ``outer/inner``.  The same
+  path accumulates total seconds, call count, and max duration.
+* **A process-global default registry** plus :func:`scoped` for
+  isolation (tests, the bench harness).
+* **JSON round-trip.**  ``snapshot()`` is plain-JSON data;
+  ``Registry.from_snapshot`` restores it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Registry",
+    "SpanHandle",
+    "Stopwatch",
+    "counter",
+    "event",
+    "get_registry",
+    "scoped",
+    "span",
+    "stopwatch",
+]
+
+
+class Stopwatch:
+    """A monotonic stopwatch: ``elapsed`` seconds since creation/reset."""
+
+    __slots__ = ("_start",)
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def reset(self) -> None:
+        """Restart the stopwatch."""
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed on the monotonic clock."""
+        return time.perf_counter() - self._start
+
+
+class SpanHandle:
+    """Yielded by :meth:`Registry.span`; usable during and after."""
+
+    __slots__ = ("path", "seconds")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: Filled in when the span closes.
+        self.seconds = 0.0
+
+
+class Registry:
+    """A collection of hierarchical timers, counters and events."""
+
+    def __init__(self, name: str = "default") -> None:
+        self.name = name
+        #: span path -> [total_seconds, count, max_seconds]
+        self._timers: Dict[str, List[float]] = {}
+        self._counters: Dict[str, int] = {}
+        self._events: List[Dict[str, Any]] = []
+        self._stack: List[str] = []
+        self._epoch = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str) -> Iterator[SpanHandle]:
+        """Time a block under ``name``, nested below any active span."""
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        handle = SpanHandle(path)
+        start = time.perf_counter()
+        try:
+            yield handle
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            handle.seconds = elapsed
+            stat = self._timers.get(path)
+            if stat is None:
+                self._timers[path] = [elapsed, 1, elapsed]
+            else:
+                stat[0] += elapsed
+                stat[1] += 1
+                if elapsed > stat[2]:
+                    stat[2] = elapsed
+
+    def counter(self, name: str, delta: int = 1) -> int:
+        """Add ``delta`` to counter ``name``; returns the new value."""
+        value = self._counters.get(name, 0) + delta
+        self._counters[name] = value
+        return value
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append a trace event (monotonic ``at`` seconds since the
+        registry was created, plus arbitrary JSON-safe fields)."""
+        record: Dict[str, Any] = {
+            "name": name,
+            "at": time.perf_counter() - self._epoch,
+        }
+        if self._stack:
+            record["span"] = self._stack[-1]
+        record.update(fields)
+        self._events.append(record)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def timer_seconds(self, path: str) -> float:
+        """Total seconds accumulated under span ``path`` (0 if unused)."""
+        stat = self._timers.get(path)
+        return stat[0] if stat else 0.0
+
+    def counter_value(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never touched)."""
+        return self._counters.get(name, 0)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The recorded event trace (live list; treat as read-only)."""
+        return self._events
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-JSON view of the whole registry."""
+        return {
+            "name": self.name,
+            "timers": {
+                path: {"total_s": stat[0], "count": stat[1],
+                       "max_s": stat[2]}
+                for path, stat in sorted(self._timers.items())
+            },
+            "counters": dict(sorted(self._counters.items())),
+            "events": list(self._events),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, Any]) -> "Registry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        reg = cls(data.get("name", "default"))
+        for path, stat in data.get("timers", {}).items():
+            reg._timers[path] = [stat["total_s"], stat["count"],
+                                 stat["max_s"]]
+        reg._counters.update(data.get("counters", {}))
+        reg._events.extend(data.get("events", []))
+        return reg
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot serialized as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def to_markdown(self) -> str:
+        """Timers and counters rendered as markdown tables."""
+        lines = [f"### Instrumentation — `{self.name}`", ""]
+        if self._timers:
+            lines += ["| span | total (s) | calls | max (s) |",
+                      "|---|---:|---:|---:|"]
+            for path, stat in sorted(self._timers.items()):
+                lines.append(f"| `{path}` | {stat[0]:.4f} | {stat[1]} "
+                             f"| {stat[2]:.4f} |")
+            lines.append("")
+        if self._counters:
+            lines += ["| counter | value |", "|---|---:|"]
+            for name, value in sorted(self._counters.items()):
+                lines.append(f"| `{name}` | {value} |")
+            lines.append("")
+        if not self._timers and not self._counters:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all recorded data (active span paths survive)."""
+        self._timers.clear()
+        self._counters.clear()
+        self._events.clear()
+        self._epoch = time.perf_counter()
+
+
+#: The process-global default registry.
+_default = Registry("global")
+_current = _default
+
+
+def get_registry() -> Registry:
+    """The currently-active registry (the global one unless scoped)."""
+    return _current
+
+
+@contextmanager
+def scoped(registry: Optional[Registry] = None) -> Iterator[Registry]:
+    """Swap in a fresh (or the given) registry for the dynamic extent.
+
+    Everything instrumented inside the block records into the scoped
+    registry; the previous one is restored on exit.  This is how tests
+    and the bench harness isolate their measurements from the global
+    accumulator.
+    """
+    global _current
+    previous = _current
+    reg = registry if registry is not None else Registry("scoped")
+    _current = reg
+    try:
+        yield reg
+    finally:
+        _current = previous
+
+
+def span(name: str):
+    """``with obs.span("engine/phase"):`` on the active registry."""
+    return _current.span(name)
+
+
+def counter(name: str, delta: int = 1) -> int:
+    """Bump a counter on the active registry."""
+    return _current.counter(name, delta)
+
+
+def event(name: str, **fields: Any) -> None:
+    """Record a trace event on the active registry."""
+    _current.event(name, **fields)
+
+
+def stopwatch() -> Stopwatch:
+    """A fresh monotonic :class:`Stopwatch`."""
+    return Stopwatch()

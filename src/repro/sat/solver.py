@@ -16,6 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from .. import obs
 from .cnf import CNF, lit_not, lit_sign, lit_var
 
 #: Tri-state results of :meth:`Solver.solve`.
@@ -55,10 +56,26 @@ class Solver:
         self._cla_inc = 1.0
         self._ok = True
         self.model: List[bool] = []
-        # Statistics (useful in benchmarks and debugging).
+        # Statistics.  Semantics: *lifetime totals*, monotonically
+        # non-decreasing across incremental solve() calls (MiniSat
+        # convention).  Never read these expecting per-call values;
+        # use stats() for a snapshot or last_call_stats for the deltas
+        # of the most recent solve().
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.restarts = 0
+        #: Per-call deltas of the last :meth:`solve` invocation.
+        self.last_call_stats: Dict[str, int] = {}
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the lifetime statistic totals."""
+        return {
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+        }
 
     # ------------------------------------------------------------------
     # Problem construction
@@ -139,7 +156,36 @@ class Solver:
         ``conflict_budget`` bounds the number of conflicts explored
         (``unknown`` on exhaustion).  On ``sat``, :attr:`model` holds a
         satisfying assignment indexed by variable.
+
+        Statistic counters accumulate across calls (lifetime totals);
+        the per-call deltas land in :attr:`last_call_stats` and are
+        published to the active :mod:`repro.obs` registry under the
+        ``sat.*`` counters and the ``sat.solve`` span.
         """
+        before = (self.conflicts, self.decisions, self.propagations,
+                  self.restarts)
+        reg = obs.get_registry()
+        with reg.span("sat.solve"):
+            result = self._search(assumptions, conflict_budget)
+        delta = {
+            "conflicts": self.conflicts - before[0],
+            "decisions": self.decisions - before[1],
+            "propagations": self.propagations - before[2],
+            "restarts": self.restarts - before[3],
+        }
+        self.last_call_stats = delta
+        reg.counter("sat.solve_calls")
+        reg.counter(f"sat.result.{result}")
+        for key, value in delta.items():
+            if value:
+                reg.counter(f"sat.{key}", value)
+        return result
+
+    def _search(
+        self,
+        assumptions: Sequence[int],
+        conflict_budget: Optional[int],
+    ) -> str:
         if not self._ok:
             return UNSAT
         self._cancel_until(0)
@@ -172,6 +218,7 @@ class Solver:
                     self._cancel_until(0)
                     return UNKNOWN
                 if conflicts_here >= limit:
+                    self.restarts += 1
                     restart_idx += 1
                     limit = 128 * self._luby(restart_idx)
                     conflicts_here = 0

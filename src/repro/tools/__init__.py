@@ -3,6 +3,8 @@
 * ``python -m repro.tools.bound``   — per-target diameter bounds
 * ``python -m repro.tools.check``   — complete bounded verification
 * ``python -m repro.tools.convert`` — BENCH <-> AIGER conversion
+* ``python -m repro.tools.bench``   — fixed perf workload, emits
+  ``BENCH_<rev>.json`` (see EXPERIMENTS.md)
 * :mod:`repro.tools.vcd`            — VCD waveform dumping
 """
 

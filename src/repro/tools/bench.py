@@ -1,0 +1,172 @@
+"""CLI: a small fixed benchmark workload seeding the perf trajectory.
+
+Usage::
+
+    python -m repro.tools.bench [--rev <label>] [--out <path>]
+
+Runs a deterministic micro-workload through every engine layer under
+an isolated :mod:`repro.obs` registry and writes ``BENCH_<rev>.json``:
+per-engine wall-time, SAT-solver effort (conflicts / decisions /
+propagations / restarts), and the per-design, per-pipeline experiment
+timings of the Table 1 harness.  ``<rev>`` defaults to the current git
+short hash (``dev`` outside a checkout).
+
+Every optimisation PR reruns this and commits the new artifact next to
+``benchmarks/BENCH_seed.json``; comparing the ``timers`` sections of
+two revisions is how a perf claim is proven.  Runs in well under a
+minute — the workload is intentionally small and fixed, chosen to
+touch every hot path rather than to stress any one of them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+from typing import Any, Dict, List, Optional, Sequence
+
+from .. import obs
+from ..core.prove import prove
+from ..diameter.qbf import qbf_initial_diameter
+from ..diameter.recurrence import recurrence_diameter
+from ..diameter.structural import StructuralAnalysis
+from ..experiments.runner import PIPELINES, evaluate_design
+from ..gen import iscas89
+from ..netlist import s27
+from ..unroll import bmc
+
+#: The fixed experiment slice: small-to-medium profiles at full scale
+#: so the SAT sweep and the LP actually work, while the whole run
+#: stays far below the 60 s budget.
+BENCH_DESIGNS = ("S27", "S298", "S386", "S641", "S820", "S1488",
+                 "S3330", "S5378")
+BENCH_SCALE = 1.0
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False)
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "dev"
+    except OSError:
+        return "dev"
+
+
+def run_workload(reg: obs.Registry) -> Dict[str, Any]:
+    """Execute the fixed workload; returns the per-section summary."""
+    sections: Dict[str, Any] = {}
+    net = s27()
+
+    # Diameter engines on the golden s27 netlist.
+    with reg.span("bench/structural") as sp:
+        analysis = StructuralAnalysis(net)
+        bounds = analysis.bounds()
+    sections["structural"] = {
+        "seconds": sp.seconds,
+        "bounds": {str(t): b for t, b in bounds.items()},
+    }
+    rec_net = iscas89.generate("S298", scale=1.0)
+    with reg.span("bench/recurrence") as sp:
+        rec = recurrence_diameter(rec_net, from_init=True, max_k=12,
+                                  conflict_budget=5000)
+    sections["recurrence"] = {
+        "seconds": sp.seconds, "bound": rec.bound, "exact": rec.exact,
+    }
+    with reg.span("bench/qbf") as sp:
+        qbf = qbf_initial_diameter(net, max_k=8)
+    sections["qbf"] = {
+        "seconds": sp.seconds, "bound": qbf.bound, "exact": qbf.exact,
+    }
+
+    # BMC to a fixed window on a generated mid-size design (exercises
+    # the unrolling + solver far beyond what s27 can).
+    bmc_net = iscas89.generate("S641", scale=1.0)
+    with reg.span("bench/bmc") as sp:
+        check = bmc(bmc_net, max_depth=24)
+    sections["bmc"] = {
+        "seconds": sp.seconds,
+        "status": check.status,
+        "depth_checked": check.depth_checked,
+    }
+
+    # The full decision procedure on the golden netlist.
+    with reg.span("bench/prove") as sp:
+        verdict = prove(net)
+    sections["prove"] = {
+        "seconds": sp.seconds,
+        "status": verdict.status,
+        "method": verdict.method,
+    }
+
+    # The three-pipeline experiment harness on a small design slice.
+    designs: Dict[str, Dict[str, float]] = {}
+    with reg.span("bench/experiments") as sp:
+        for name in BENCH_DESIGNS:
+            profile = iscas89.profile(name).scaled(BENCH_SCALE)
+            design = iscas89.generate(profile.name, scale=BENCH_SCALE)
+            row = evaluate_design(design)
+            designs[name] = {
+                pipeline: row.columns[pipeline].seconds
+                for pipeline in PIPELINES
+            }
+    sections["experiments"] = {"seconds": sp.seconds,
+                               "per_design": designs}
+    return sections
+
+
+def run_bench(rev: str) -> Dict[str, Any]:
+    """Run the workload in a scoped registry; returns the artifact."""
+    with obs.scoped(obs.Registry(f"bench-{rev}")) as reg:
+        sections = run_workload(reg)
+        snapshot = reg.snapshot()
+    solver_keys = ("sat.conflicts", "sat.decisions", "sat.propagations",
+                   "sat.restarts", "sat.solve_calls")
+    return {
+        "schema": "repro-bench-v1",
+        "rev": rev,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "system": platform.system(),
+            "machine": platform.machine(),
+        },
+        "workload": {"designs": list(BENCH_DESIGNS),
+                     "scale": BENCH_SCALE},
+        "sections": sections,
+        "solver": {key: snapshot["counters"].get(key, 0)
+                   for key in solver_keys},
+        "timers": snapshot["timers"],
+        "counters": snapshot["counters"],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rev", default=None,
+                        help="revision label (default: git short hash)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default: BENCH_<rev>.json)")
+    args = parser.parse_args(argv)
+    rev = args.rev or _git_rev()
+    artifact = run_bench(rev)
+    path = args.out or f"BENCH_{rev}.json"
+    with open(path, "w") as handle:
+        json.dump(artifact, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    lines: List[str] = [f"wrote {path}"]
+    for name, section in artifact["sections"].items():
+        lines.append(f"  {name:<12} {section['seconds']:8.3f} s")
+    solver = artifact["solver"]
+    lines.append(f"  solver: {solver['sat.solve_calls']} calls, "
+                 f"{solver['sat.conflicts']} conflicts, "
+                 f"{solver['sat.decisions']} decisions")
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from .. import obs
 from ..core.record import StepKind, TransformResult, TransformStep
 from ..netlist import (
     GateType,
@@ -130,6 +131,7 @@ class _InductiveChecker:
         # diff -> (a xor b)  (one direction suffices for the query)
         sink.add_clause([lit_not(diff), la, lb])
         sink.add_clause([lit_not(diff), lit_not(la), lit_not(lb)])
+        obs.counter("com.sat_queries")
         result = solver.solve(assumptions + [diff],
                               conflict_budget=self.config.conflict_budget)
         return result == UNSAT
@@ -142,6 +144,7 @@ class _InductiveChecker:
         sink = CnfSink(solver)
         sink.add_clause([lit_not(diff), la, lb])
         sink.add_clause([lit_not(diff), lit_not(la), lit_not(lb)])
+        obs.counter("com.sat_queries")
         result = solver.solve([diff],
                               conflict_budget=self.config.conflict_budget)
         return result == UNSAT
@@ -172,9 +175,19 @@ def redundancy_removal(
 
     Returns a :class:`TransformResult` whose step is trace-equivalence
     preserving (Theorem 1): the diameter bound of any retained vertex
-    set is unchanged.
+    set is unchanged.  Instrumented under the ``transform.com`` span
+    with ``com.rounds`` / ``com.sat_queries`` / ``com.merges``
+    counters.
     """
-    config = config or SweepConfig()
+    with obs.span("transform.com"):
+        return _sweep(net, config or SweepConfig(), name_suffix)
+
+
+def _sweep(
+    net: Netlist,
+    config: SweepConfig,
+    name_suffix: str,
+) -> TransformResult:
     substitution: Dict[int, int] = {}
 
     # Phase 1: ternary constants (state elements stuck at a constant).
@@ -204,6 +217,7 @@ def redundancy_removal(
             else config.max_rounds
         converged = False
         for _ in range(limit):
+            obs.counter("com.rounds")
             assumptions = checker.assume_lits(classes)
             new_classes: List[List[int]] = []
             changed = False
@@ -266,6 +280,7 @@ def redundancy_removal(
                     continue  # would create a substitution cycle
                 substitution[other] = rep
 
+    obs.counter("com.merges", len(substitution))
     out, mapping = rebuild(work, substitution=substitution,
                            name=f"{net.name}-{name_suffix}")
     if work is not net:

@@ -32,6 +32,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 import numpy as np
 from scipy.optimize import linprog
 
+from .. import obs
 from ..core.record import StepKind, TransformResult, TransformStep
 from ..netlist import Gate, GateType, Netlist, NetlistError, rebuild
 
@@ -299,12 +300,23 @@ def retime(net: Netlist, name_suffix: str = "ret",
     classic host-boundary constraint when interface timing must be
     preserved [18]; pinned targets then back-translate with lag 0.
     """
+    with obs.span("transform.ret"):
+        return _retime(net, name_suffix, fixed)
+
+
+def _retime(net: Netlist, name_suffix: str,
+            fixed: Optional[Iterable[int]]) -> TransformResult:
     work = net.copy()
     target_bufs: Dict[int, int] = {}
     for t in dict.fromkeys(work.targets):
         target_bufs[t] = work.add_gate(GateType.BUF, (t,))
     graph = RetimingGraph(work)
-    lags = min_register_lags(graph, fixed=fixed)
+    with obs.span("transform.ret/lp"):
+        lags = min_register_lags(graph, fixed=fixed)
+    obs.counter("ret.calls")
+    obs.counter("ret.graph_nodes", len(graph.nodes))
+    obs.counter("ret.lagged_nodes",
+                sum(1 for lag in lags.values() if lag != 0))
 
     out = Netlist(f"{net.name}-{name_suffix}")
     stump = _StumpBuilder(work, out)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..netlist import Netlist
 from ..sat import SAT, UNKNOWN
 from .unroller import Unrolling
@@ -36,7 +37,30 @@ class Counterexample:
 
 @dataclass
 class BMCResult:
-    """Outcome of a bounded check."""
+    """Outcome of a bounded check.
+
+    ``depth_checked`` invariant — the number of time-steps with a
+    *definitive* per-frame answer: frames ``0 .. depth_checked - 1``
+    have each been resolved SAT or UNSAT.  Per status:
+
+    * :data:`FALSIFIED` — frames ``0 .. t - 1`` refuted and frame
+      ``t`` hit, so ``depth_checked == t + 1 ==
+      counterexample.depth + 1`` (note the off-by-one: the
+      counterexample records the *hit time*, ``depth_checked`` the
+      *window size*).
+    * :data:`ABORTED` — the solver resourced out at frame ``t``,
+      which is therefore unresolved: ``depth_checked == t``.  An
+      abort on the very first query gives ``depth_checked == 0``.
+    * :data:`BOUNDED` — every queried frame refuted;
+      ``depth_checked`` equals the window actually examined
+      (``min(max_depth, complete_bound)`` when a bound was supplied).
+    * :data:`PROVEN` — all refuted and ``depth_checked >=
+      complete_bound``, so the window covers the full diameter.
+
+    Keep these conventions in sync with :func:`bmc`, :func:`bmc_multi`
+    and ``k_induction`` (whose PROVEN reuses the field for the
+    inductive ``k`` — documented there).
+    """
 
     status: str
     target: int
@@ -71,19 +95,26 @@ def bmc(
     depth = max_depth
     if complete_bound is not None:
         depth = min(max_depth, complete_bound)
-    for t in range(depth):
-        lit = unroll.literal(target, t)
-        result = unroll.solver.solve([lit], conflict_budget=conflict_budget)
-        if result == SAT:
-            model = unroll.solver.model
-            cex = Counterexample(
-                depth=t,
-                inputs=[unroll.input_values(model, i) for i in range(t + 1)],
-                initial_state=unroll.state_values(model, 0),
-            )
-            return BMCResult(FALSIFIED, target, t + 1, cex)
-        if result == UNKNOWN:
-            return BMCResult(ABORTED, target, t)
+    reg = obs.get_registry()
+    with reg.span("bmc"):
+        for t in range(depth):
+            lit = unroll.literal(target, t)
+            with reg.span("frame") as frame_span:
+                result = unroll.solver.solve(
+                    [lit], conflict_budget=conflict_budget)
+            reg.event("bmc.frame", t=t, result=result,
+                      seconds=frame_span.seconds)
+            if result == SAT:
+                model = unroll.solver.model
+                cex = Counterexample(
+                    depth=t,
+                    inputs=[unroll.input_values(model, i)
+                            for i in range(t + 1)],
+                    initial_state=unroll.state_values(model, 0),
+                )
+                return BMCResult(FALSIFIED, target, t + 1, cex)
+            if result == UNKNOWN:
+                return BMCResult(ABORTED, target, t)
     if complete_bound is not None and depth >= complete_bound:
         return BMCResult(PROVEN, target, depth)
     return BMCResult(BOUNDED, target, depth)
@@ -112,6 +143,7 @@ def bmc_multi(
     unroll = Unrolling(net, constrain_init=True)
     results: Dict[int, BMCResult] = {}
     open_targets = list(dict.fromkeys(targets))
+    reg = obs.get_registry()
     for t in range(max_depth):
         if not open_targets:
             break
@@ -119,11 +151,13 @@ def bmc_multi(
         for target in open_targets:
             bound = complete_bounds.get(target)
             if bound is not None and t >= bound:
+                # Frames 0 .. t-1 all refuted (t >= bound suffices).
                 results[target] = BMCResult(PROVEN, target, t)
                 continue
             lit = unroll.literal(target, t)
-            outcome = unroll.solver.solve(
-                [lit], conflict_budget=conflict_budget)
+            with reg.span("bmc.multi/frame"):
+                outcome = unroll.solver.solve(
+                    [lit], conflict_budget=conflict_budget)
             if outcome == SAT:
                 model = unroll.solver.model
                 cex = Counterexample(

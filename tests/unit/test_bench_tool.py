@@ -1,0 +1,59 @@
+"""Tests for the repro.tools.bench perf-seed harness.
+
+The full workload run is marked ``bench`` and excluded from the
+default (tier-1) suite; the unmarked tests guard the committed
+artifact and the CLI plumbing without paying for a run.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.tools.bench import _git_rev, main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Keys every bench artifact must carry (the cross-revision contract).
+REQUIRED_KEYS = ("schema", "rev", "host", "workload", "sections",
+                 "solver", "timers", "counters")
+REQUIRED_SECTIONS = ("structural", "recurrence", "qbf", "bmc", "prove",
+                     "experiments")
+
+
+def _validate_artifact(artifact):
+    for key in REQUIRED_KEYS:
+        assert key in artifact, f"missing top-level key {key!r}"
+    assert artifact["schema"] == "repro-bench-v1"
+    for section in REQUIRED_SECTIONS:
+        assert section in artifact["sections"]
+        assert artifact["sections"][section]["seconds"] >= 0.0
+    solver = artifact["solver"]
+    assert solver["sat.solve_calls"] > 0
+    assert solver["sat.conflicts"] > 0
+    assert solver["sat.decisions"] > 0
+    per_design = artifact["sections"]["experiments"]["per_design"]
+    for timings in per_design.values():
+        assert set(timings) == {"original", "com", "crc"}
+
+
+def test_git_rev_is_nonempty_string():
+    rev = _git_rev()
+    assert isinstance(rev, str) and rev
+
+
+def test_committed_seed_artifact_matches_schema():
+    seed = REPO_ROOT / "benchmarks" / "BENCH_seed.json"
+    assert seed.exists(), "benchmarks/BENCH_seed.json must be committed"
+    artifact = json.loads(seed.read_text())
+    assert artifact["rev"] == "seed"
+    _validate_artifact(artifact)
+
+
+@pytest.mark.bench
+def test_bench_cli_produces_artifact(tmp_path):
+    out = tmp_path / "BENCH_test.json"
+    assert main(["--rev", "test", "--out", str(out)]) == 0
+    artifact = json.loads(out.read_text())
+    assert artifact["rev"] == "test"
+    _validate_artifact(artifact)

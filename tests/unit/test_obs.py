@@ -1,0 +1,193 @@
+"""Unit tests for the instrumentation layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.netlist import NetlistBuilder
+from repro.sat import SAT, UNSAT, Solver
+from repro.unroll import bmc
+
+
+class TestRegistryBasics:
+    def test_counter_accumulates(self):
+        reg = obs.Registry("t")
+        assert reg.counter("hits") == 1
+        assert reg.counter("hits", 4) == 5
+        assert reg.counter_value("hits") == 5
+        assert reg.counter_value("never") == 0
+
+    def test_span_records_time_and_count(self):
+        reg = obs.Registry("t")
+        for _ in range(3):
+            with reg.span("work"):
+                pass
+        snap = reg.snapshot()
+        assert snap["timers"]["work"]["count"] == 3
+        assert snap["timers"]["work"]["total_s"] >= 0.0
+        assert snap["timers"]["work"]["max_s"] <= \
+            snap["timers"]["work"]["total_s"]
+
+    def test_nested_spans_build_hierarchical_paths(self):
+        reg = obs.Registry("t")
+        with reg.span("outer"):
+            with reg.span("inner"):
+                with reg.span("leaf"):
+                    pass
+            with reg.span("inner"):
+                pass
+        snap = reg.snapshot()
+        assert snap["timers"]["outer"]["count"] == 1
+        assert snap["timers"]["outer/inner"]["count"] == 2
+        assert snap["timers"]["outer/inner/leaf"]["count"] == 1
+
+    def test_span_handle_reports_seconds_after_exit(self):
+        reg = obs.Registry("t")
+        with reg.span("x") as handle:
+            assert handle.path == "x"
+        assert handle.seconds >= 0.0
+
+    def test_span_survives_exceptions(self):
+        reg = obs.Registry("t")
+        with pytest.raises(RuntimeError):
+            with reg.span("fails"):
+                raise RuntimeError("boom")
+        # The span closed: timing recorded, stack unwound.
+        assert reg.snapshot()["timers"]["fails"]["count"] == 1
+        with reg.span("after"):
+            pass
+        assert "after" in reg.snapshot()["timers"]  # not "fails/after"
+
+    def test_events_carry_span_context(self):
+        reg = obs.Registry("t")
+        with reg.span("phase"):
+            reg.event("tick", k=3)
+        (evt,) = reg.events
+        assert evt["name"] == "tick"
+        assert evt["span"] == "phase"
+        assert evt["k"] == 3
+        assert evt["at"] >= 0.0
+
+    def test_reset_clears_everything(self):
+        reg = obs.Registry("t")
+        reg.counter("c")
+        with reg.span("s"):
+            reg.event("e")
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap["timers"] == {} and snap["counters"] == {}
+        assert snap["events"] == []
+
+
+class TestSerialization:
+    def _populated(self):
+        reg = obs.Registry("round")
+        with reg.span("a"):
+            with reg.span("b"):
+                reg.event("ev", value=7)
+        reg.counter("n", 42)
+        return reg
+
+    def test_json_round_trip(self):
+        reg = self._populated()
+        restored = obs.Registry.from_snapshot(
+            json.loads(reg.to_json()))
+        assert restored.snapshot() == reg.snapshot()
+
+    def test_markdown_lists_timers_and_counters(self):
+        reg = self._populated()
+        md = reg.to_markdown()
+        assert "`a/b`" in md and "`n`" in md and "| 42 |" in md
+
+    def test_empty_markdown(self):
+        assert "(empty)" in obs.Registry("e").to_markdown()
+
+
+class TestScoping:
+    def test_scoped_registry_isolates_measurements(self):
+        obs.counter("outside.before")
+        with obs.scoped() as reg:
+            obs.counter("inside")
+            assert obs.get_registry() is reg
+        assert reg.counter_value("inside") == 1
+        assert obs.get_registry().counter_value("inside") == 0
+
+    def test_scoped_restores_on_exception(self):
+        before = obs.get_registry()
+        with pytest.raises(ValueError):
+            with obs.scoped():
+                raise ValueError
+        assert obs.get_registry() is before
+
+    def test_nested_scopes(self):
+        with obs.scoped() as outer:
+            with obs.scoped() as inner:
+                obs.counter("deep")
+            obs.counter("shallow")
+        assert inner.counter_value("deep") == 1
+        assert inner.counter_value("shallow") == 0
+        assert outer.counter_value("shallow") == 1
+
+    def test_stopwatch_is_monotonic(self):
+        watch = obs.stopwatch()
+        first = watch.elapsed
+        second = watch.elapsed
+        assert 0.0 <= first <= second
+        watch.reset()
+        assert watch.elapsed <= second + 1.0
+
+
+class TestSolverIntegration:
+    def _solver_with_search(self):
+        # (a|b) & (!a|c) & (!b|!c) & (a|!c): satisfiable, needs search.
+        solver = Solver()
+        a, b, c = (solver.new_var() for _ in range(3))
+        pos_, neg = (lambda v: 2 * v), (lambda v: 2 * v + 1)
+        solver.add_clause([pos_(a), pos_(b)])
+        solver.add_clause([neg(a), pos_(c)])
+        solver.add_clause([neg(b), neg(c)])
+        solver.add_clause([pos_(a), neg(c)])
+        return solver
+
+    def test_lifetime_totals_are_monotone(self):
+        solver = self._solver_with_search()
+        assert solver.solve() == SAT
+        first = solver.stats()
+        assert solver.solve([2 * 0 + 1]) in (SAT, UNSAT)
+        second = solver.stats()
+        for key in ("conflicts", "decisions", "propagations",
+                    "restarts"):
+            assert second[key] >= first[key]
+
+    def test_last_call_stats_are_deltas(self):
+        solver = self._solver_with_search()
+        solver.solve()
+        total_after_first = solver.stats()
+        solver.solve()
+        delta = solver.last_call_stats
+        for key, value in solver.stats().items():
+            assert value == total_after_first[key] + delta[key]
+
+    def test_solver_publishes_to_scoped_registry(self):
+        with obs.scoped() as reg:
+            solver = self._solver_with_search()
+            result = solver.solve()
+        assert result == SAT
+        assert reg.counter_value("sat.solve_calls") == 1
+        assert reg.counter_value("sat.result.sat") == 1
+        assert reg.snapshot()["timers"]["sat.solve"]["count"] == 1
+
+    def test_bmc_emits_per_frame_events(self):
+        b = NetlistBuilder("toggler")
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        b.net.add_target(r)
+        with obs.scoped() as reg:
+            result = bmc(b.net, max_depth=4)
+        assert result.status == "falsified"
+        frames = [e for e in reg.events if e["name"] == "bmc.frame"]
+        assert [e["t"] for e in frames] == [0, 1]
+        assert frames[0]["result"] == "unsat"
+        assert frames[1]["result"] == "sat"
+        assert all(e["seconds"] >= 0.0 for e in frames)

@@ -1,12 +1,14 @@
 """Unit tests for unrolling, BMC and k-induction."""
 
-from repro.netlist import GateType, NetlistBuilder, s27
+from repro.netlist import GateType, Netlist, NetlistBuilder, s27
 from repro.unroll import (
+    ABORTED,
     BOUNDED,
     FALSIFIED,
     PROVEN,
     Unrolling,
     bmc,
+    bmc_multi,
     k_induction,
     replay_counterexample,
 )
@@ -155,3 +157,105 @@ class TestKInduction:
         net, t = counter_target(3, 7)
         result = k_induction(net, t, max_k=2)
         assert result.status == BOUNDED
+
+
+def contradiction_target():
+    """Target = AND(x, NOT x), built raw so nothing simplifies it.
+
+    The frame-0 query is UNSAT but only via search (one conflict), so a
+    zero conflict budget forces an abort on the very first frame.
+    """
+    net = Netlist("contradiction")
+    x = net.add_gate(GateType.INPUT, (), name="x")
+    nx = net.add_gate(GateType.NOT, (x,))
+    t = net.add_gate(GateType.AND, (x, nx))
+    net.add_target(t)
+    return net, t
+
+
+class TestBMCDepthCheckedInvariant:
+    """frames 0 .. depth_checked - 1 are definitively resolved."""
+
+    def test_falsified_depth_checked_is_hit_plus_one(self):
+        net, t = counter_target(3, 5)
+        result = bmc(net, t, max_depth=10)
+        assert result.status == FALSIFIED
+        assert result.depth_checked == result.counterexample.depth + 1
+        assert result.depth_checked == 6
+
+    def test_aborted_at_depth_zero(self):
+        net, t = contradiction_target()
+        result = bmc(net, t, max_depth=5, conflict_budget=0)
+        assert result.status == ABORTED
+        assert result.depth_checked == 0
+        assert result.counterexample is None
+        assert not result.is_complete
+
+    def test_aborted_mid_window(self):
+        # The contradiction delayed by one register: frame 0 refutes by
+        # propagation alone (init = 0), the frame-1 query needs its one
+        # conflict and exhausts the zero budget — abort with exactly
+        # one frame resolved.
+        net = Netlist("delayed")
+        x = net.add_gate(GateType.INPUT, (), name="x")
+        nx = net.add_gate(GateType.NOT, (x,))
+        a = net.add_gate(GateType.AND, (x, nx))
+        r = net.add_gate(GateType.REGISTER, (a, net.const0()))
+        net.add_target(r)
+        result = bmc(net, r, max_depth=8, conflict_budget=0)
+        assert result.status == ABORTED
+        assert result.depth_checked == 1
+
+    def test_complete_bound_above_max_depth_stays_bounded(self):
+        net, t = unreachable_target()
+        result = bmc(net, t, max_depth=3, complete_bound=10)
+        assert result.status == BOUNDED
+        assert result.depth_checked == 3
+        assert not result.is_complete
+
+    def test_complete_bound_zero_is_immediately_proven(self):
+        net, t = unreachable_target()
+        result = bmc(net, t, max_depth=20, complete_bound=0)
+        assert result.status == PROVEN
+        assert result.depth_checked == 0
+
+    def test_proven_window_is_clamped_to_bound(self):
+        net, t = unreachable_target()
+        result = bmc(net, t, max_depth=100, complete_bound=2)
+        assert result.status == PROVEN
+        assert result.depth_checked == 2
+
+    def test_bounded_equals_window(self):
+        net, t = counter_target(3, 7)
+        result = bmc(net, t, max_depth=4)
+        assert result.status == BOUNDED
+        assert result.depth_checked == 4
+
+    def test_multi_proven_depth_equals_bound(self):
+        net, t = unreachable_target()
+        results = bmc_multi(net, [t], max_depth=6,
+                            complete_bounds={t: 2})
+        assert results[t].status == PROVEN
+        assert results[t].depth_checked == 2
+
+    def test_multi_bound_equal_to_max_depth_proven_after_loop(self):
+        net, t = unreachable_target()
+        results = bmc_multi(net, [t], max_depth=4,
+                            complete_bounds={t: 4})
+        assert results[t].status == PROVEN
+        assert results[t].depth_checked == 4
+
+    def test_multi_falsified_and_bounded_mix(self):
+        b = NetlistBuilder("mix")
+        r = b.register(name="r")
+        b.connect(r, b.not_(r))
+        hit = b.buf(r, name="hit")  # true at t = 1
+        never = b.buf(b.and_(r, b.not_(r)), name="never")
+        b.net.add_target(hit)
+        b.net.add_target(never)
+        results = bmc_multi(b.net, max_depth=3)
+        assert results[hit].status == FALSIFIED
+        assert results[hit].depth_checked == \
+            results[hit].counterexample.depth + 1 == 2
+        assert results[never].status == BOUNDED
+        assert results[never].depth_checked == 3
