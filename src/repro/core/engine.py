@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from ..netlist import GateType, Netlist
+from ..resilience import Budget
 from .record import TransformChain
 from .theory import back_translate
 
@@ -107,8 +108,16 @@ class TBVEngine:
         self.sweep_config = sweep_config
         self.refine_gc_limit = refine_gc_limit
 
-    def transform(self, net: Netlist) -> TransformChain:
-        """Apply the strategy, returning the provenance chain."""
+    def transform(self, net: Netlist,
+                  budget: Optional[Budget] = None) -> TransformChain:
+        """Apply the strategy, returning the provenance chain.
+
+        ``budget`` is checked between strategy tokens (raising
+        :class:`repro.resilience.ResourceExhausted` /
+        :class:`repro.resilience.Cancelled`) and threaded into the
+        budget-aware transforms; an exhausted COM degrades to fewer
+        merges rather than failing.
+        """
         from ..transform.coi import coi_reduction
         from ..transform.cslow import cslow_abstract
         from ..transform.phase import phase_abstract
@@ -118,9 +127,12 @@ class TBVEngine:
 
         chain = TransformChain.identity(net)
         for token in self.strategy:
+            if budget is not None:
+                budget.check()
             if token == "COM":
                 result = redundancy_removal(chain.netlist,
-                                            config=self.sweep_config)
+                                            config=self.sweep_config,
+                                            budget=budget)
             elif token == "STRASH":
                 result = strash(chain.netlist)
             elif token == "RET":
@@ -163,16 +175,24 @@ class TBVEngine:
             vid = step.target_map.get(vid)
         return True
 
-    def run(self, net: Netlist) -> EngineResult:
-        """Transform, bound every target, and back-translate."""
+    def run(self, net: Netlist,
+            budget: Optional[Budget] = None) -> EngineResult:
+        """Transform, bound every target, and back-translate.
+
+        The bounding stage itself is never aborted by ``budget`` (the
+        default structural bounder always terminates); the budget
+        governs the transformation pipeline and the optional GC
+        refinement only.
+        """
         from ..diameter.structural import StructuralAnalysis
 
-        chain = self.transform(net)
+        chain = self.transform(net, budget=budget)
         final = chain.netlist
         analysis: Optional[StructuralAnalysis] = None
         if self.bounder is None:
             analysis = StructuralAnalysis(
-                final, refine_gc_limit=self.refine_gc_limit)
+                final, refine_gc_limit=self.refine_gc_limit,
+                budget=budget)
         result = EngineResult(chain=chain)
         for target in net.targets:
             name = net.gate(target).name

@@ -16,6 +16,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..netlist import Netlist, NetlistError
+from ..resilience import Budget, Cancelled, EngineFailure, \
+    ResourceExhausted
 from .engine import EngineResult, PROVEN, TBVEngine
 
 #: A sensible default portfolio (cheap to expensive).
@@ -103,29 +105,56 @@ def compare_strategies(
     strategies: Sequence[str] = DEFAULT_STRATEGIES,
     sweep_config=None,
     refine_gc_limit: int = 0,
+    budget: Optional[Budget] = None,
 ) -> PortfolioResult:
     """Run every strategy; failures (e.g. CSLOW on a non-c-slow
-    netlist) are recorded, not raised.
+    netlist, an engine crash, an exhausted per-strategy budget) are
+    recorded, not raised — each strategy's bound is independently
+    sound, so the portfolio survives any subset of them.
 
     Each strategy runs under the obs span ``portfolio/<strategy>``, so
     per-strategy wall-time and the solver effort spent inside it land
     in the active registry; ``StrategyOutcome.seconds`` is the span's
     own duration (monotonic).
+
+    ``budget`` governs the whole portfolio: each strategy runs on an
+    equal :meth:`~repro.resilience.Budget.slice` of whatever remains,
+    strategies are skipped outright (with a recorded outcome and a
+    ``portfolio.budget_skips`` counter) once the shared pool is dry,
+    and cancellation raises :class:`Cancelled` immediately.
     """
     portfolio = PortfolioResult(net=net)
     reg = obs.get_registry()
     with reg.span("portfolio"):
-        for strategy in strategies:
+        for i, strategy in enumerate(strategies):
             label = strategy or "(none)"
+            sub: Optional[Budget] = None
+            if budget is not None:
+                if budget.cancelled:
+                    raise Cancelled(budget_name=budget.name)
+                reason = budget.exhausted()
+                if reason is not None:
+                    reg.counter("portfolio.budget_skips")
+                    portfolio.outcomes.append(StrategyOutcome(
+                        strategy=strategy,
+                        error=f"skipped: budget exhausted ({reason})"))
+                    continue
+                # Equal share of the remaining pool per pending
+                # strategy, so an expensive early pipeline cannot
+                # starve the rest of the portfolio.
+                sub = budget.slice(1.0 / (len(strategies) - i),
+                                   name=f"portfolio[{label}]")
             try:
                 with reg.span(label) as strategy_span:
                     result = TBVEngine(
                         strategy, sweep_config=sweep_config,
-                        refine_gc_limit=refine_gc_limit).run(net)
+                        refine_gc_limit=refine_gc_limit).run(
+                            net, budget=sub)
                 portfolio.outcomes.append(StrategyOutcome(
                     strategy=strategy, result=result,
                     seconds=strategy_span.seconds))
-            except (NetlistError, ValueError) as exc:
+            except (NetlistError, ValueError, EngineFailure,
+                    ResourceExhausted) as exc:
                 reg.counter("portfolio.failures")
                 portfolio.outcomes.append(StrategyOutcome(
                     strategy=strategy, error=str(exc),

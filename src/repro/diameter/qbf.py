@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from .. import obs
 from ..netlist import GateType, Netlist
+from ..resilience import Budget, Cancelled
 from ..sat import CnfSink, encode_frame, encode_mux, encode_xor2, \
     lit_not, pos
 from ..sat.qbf import QBFResult, solve_forall_exists
@@ -95,17 +96,21 @@ class QBFDiameterResult:
     """Outcome of the QBF initial-diameter computation.
 
     ``bound`` is the completeness bound (= exact ``initial_depth``
-    when ``exact``); ``checks`` records the per-k 2QBF outcomes.
+    when ``exact``); ``checks`` records the per-k 2QBF outcomes;
+    ``exhaustion_reason`` carries the structured cause of an inexact
+    stop driven by a resource budget (None otherwise).
     """
 
     bound: int
     exact: bool
     checks: List[QBFResult]
+    exhaustion_reason: Optional[str] = None
 
 
 def qbf_initial_diameter_check(net: Netlist, k: int,
                                max_iterations: int = 10000,
-                               conflict_budget: Optional[int] = None
+                               conflict_budget: Optional[int] = None,
+                               budget: Optional[Budget] = None
                                ) -> QBFResult:
     """The 2QBF query "every (k+1)-step-reachable state is
     (<= k)-step-reachable"."""
@@ -126,33 +131,47 @@ def qbf_initial_diameter_check(net: Netlist, k: int,
 
     return solve_forall_exists(num_x, num_y, encode,
                                max_iterations=max_iterations,
-                               conflict_budget=conflict_budget)
+                               conflict_budget=conflict_budget,
+                               budget=budget)
 
 
 def qbf_initial_diameter(net: Netlist, max_k: int = 32,
                          max_iterations: int = 10000,
-                         conflict_budget: Optional[int] = None
+                         conflict_budget: Optional[int] = None,
+                         budget: Optional[Budget] = None
                          ) -> QBFDiameterResult:
     """Exact initial-state completeness bound via a series of 2QBFs.
 
     Returns the smallest ``k + 1`` such that the check holds at ``k``
     (every reachable state is then reachable within ``k`` steps, by
     induction on path length) — i.e. exactly ``initial_depth``.
+    ``budget`` is checked per k (and cooperatively inside the CEGAR
+    loop); exhaustion yields an inexact result with a structured
+    ``exhaustion_reason``, cancellation raises :class:`Cancelled`.
     """
     checks: List[QBFResult] = []
     reg = obs.get_registry()
     with reg.span("diameter.qbf"):
         for k in range(max_k + 1):
+            if budget is not None:
+                if budget.cancelled:
+                    raise Cancelled(budget_name=budget.name)
+                reason = budget.exhausted()
+                if reason is not None:
+                    return QBFDiameterResult(bound=k + 1, exact=False,
+                                             checks=checks,
+                                             exhaustion_reason=reason)
             with reg.span("check") as check_span:
                 result = qbf_initial_diameter_check(
                     net, k, max_iterations=max_iterations,
-                    conflict_budget=conflict_budget)
+                    conflict_budget=conflict_budget, budget=budget)
             reg.event("qbf.check", k=k, valid=result.valid,
                       exact=result.exact, seconds=check_span.seconds)
             checks.append(result)
             if not result.exact:
-                return QBFDiameterResult(bound=k + 1, exact=False,
-                                         checks=checks)
+                return QBFDiameterResult(
+                    bound=k + 1, exact=False, checks=checks,
+                    exhaustion_reason=result.exhaustion_reason)
             if result.valid:
                 return QBFDiameterResult(bound=k + 1, exact=True,
                                          checks=checks)

@@ -23,6 +23,7 @@ from typing import Optional
 
 from .. import obs
 from ..netlist import Netlist
+from ..resilience import Budget, Cancelled
 from ..sat import UNKNOWN, UNSAT
 from ..unroll import Unrolling, add_state_difference
 
@@ -34,13 +35,17 @@ class RecurrenceResult:
     ``bound`` is the completeness bound (number of BMC time-steps that
     suffice), i.e. one greater than the longest simple path found;
     ``exact`` is False when the search stopped on ``max_k`` or a
-    conflict budget, in which case ``bound`` is only a lower bound of
+    resource limit, in which case ``bound`` is only a lower bound of
     the true recurrence bound and *must not* be used for completeness.
+    ``exhaustion_reason`` carries the structured cause of an inexact
+    stop driven by a resource budget (None for a plain ``max_k``
+    exit).
     """
 
     bound: int
     exact: bool
     longest_path: int
+    exhaustion_reason: Optional[str] = None
 
 
 def recurrence_diameter(
@@ -48,11 +53,14 @@ def recurrence_diameter(
     from_init: bool = False,
     max_k: int = 64,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> RecurrenceResult:
     """Compute the recurrence diameter by a series of SAT problems.
 
     ``from_init=True`` anchors the path in the initial states (the
     Kroening/Strichman refinement); otherwise paths start anywhere.
+    ``budget`` is checked per step; exhaustion yields an inexact
+    result with a structured ``exhaustion_reason``.
     """
     unroll = Unrolling(net, constrain_init=from_init)
     k = 1
@@ -60,6 +68,14 @@ def recurrence_diameter(
     reg = obs.get_registry()
     with reg.span("diameter.recurrence"):
         while k <= max_k:
+            if budget is not None:
+                if budget.cancelled:
+                    raise Cancelled(budget_name=budget.name)
+                reason = budget.exhausted()
+                if reason is not None:
+                    return RecurrenceResult(bound=k, exact=False,
+                                            longest_path=longest,
+                                            exhaustion_reason=reason)
             unroll.frame(k - 1)  # ensure frames 0..k-1 and state k exist
             # Add distinctness between the newest state and all others.
             for i in range(k):
@@ -67,15 +83,16 @@ def recurrence_diameter(
                                      unroll.state_lits[k])
             with reg.span("step") as step_span:
                 result = unroll.solver.solve(
-                    conflict_budget=conflict_budget)
+                    conflict_budget=conflict_budget, budget=budget)
             reg.event("recurrence.step", k=k, result=result,
                       seconds=step_span.seconds)
             if result == UNSAT:
                 return RecurrenceResult(bound=k, exact=True,
                                         longest_path=k - 1)
             if result == UNKNOWN:
-                return RecurrenceResult(bound=k, exact=False,
-                                        longest_path=longest)
+                return RecurrenceResult(
+                    bound=k, exact=False, longest_path=longest,
+                    exhaustion_reason=unroll.solver.last_exhaustion)
             longest = k
             k += 1
     return RecurrenceResult(bound=max_k + 1, exact=False, longest_path=longest)
@@ -87,6 +104,7 @@ def recurrence_diameter_for_target(
     from_init: bool = True,
     max_k: int = 64,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> RecurrenceResult:
     """Recurrence bound restricted to the target's cone of influence.
 
@@ -103,4 +121,5 @@ def recurrence_diameter_for_target(
     reduced = coi_reduction(net, roots=[target])
     return recurrence_diameter(reduced.netlist, from_init=from_init,
                                max_k=max_k,
-                               conflict_budget=conflict_budget)
+                               conflict_budget=conflict_budget,
+                               budget=budget)

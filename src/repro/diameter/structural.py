@@ -54,6 +54,7 @@ from ..netlist import (
     register_graph,
     state_support,
 )
+from ..resilience import Budget, Cancelled
 from ..sim import constant_state_elements
 
 #: Component kind tags.
@@ -190,11 +191,22 @@ class StructuralAnalysis:
     ``d_in * 2**k``.  The paper's per-component numbers (e.g. 33 for a
     6-register component) indicate its engine used exactly this kind
     of refinement.
+
+    This engine is the designated degradation fallback of the whole
+    stack (it always terminates), so a ``budget`` never aborts the
+    analysis: cancellation raises at construction, and exhaustion only
+    disables the *optional* GC refinement — the component falls back
+    to the sound ``2**k`` rule and a ``structural.refinement_skips``
+    counter records the skip.
     """
 
-    def __init__(self, net: Netlist, refine_gc_limit: int = 0) -> None:
+    def __init__(self, net: Netlist, refine_gc_limit: int = 0,
+                 budget: Optional[Budget] = None) -> None:
+        if budget is not None and budget.cancelled:
+            raise Cancelled(budget_name=budget.name)
         self.net = net
         self.refine_gc_limit = refine_gc_limit
+        self.budget = budget
         self.graph = register_graph(net)
         self.constants = constant_state_elements(net)
         self.components: List[Component] = []
@@ -418,11 +430,16 @@ class StructuralAnalysis:
 
     def _gc_state_bound(self, comp: Component) -> int:
         """State-count bound for a GC: reachable count when small
-        enough to refine, ``2**k`` otherwise."""
+        enough to refine, ``2**k`` otherwise.  An exhausted budget
+        also falls back to ``2**k`` — skipping the refinement loses
+        tightness, never soundness."""
         if comp.size > self.refine_gc_limit:
             return 1 << comp.size
         if comp in self._gc_states_cache:
             return self._gc_states_cache[comp]
+        if self.budget is not None and self.budget.exhausted() is not None:
+            obs.counter("structural.refinement_skips")
+            return 1 << comp.size
         with obs.span("diameter.structural/gc_refine"):
             count = self._reachable_component_states(comp)
         obs.counter("structural.gc_refinements")

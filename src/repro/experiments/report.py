@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from .. import obs
 from ..gen import gp, iscas89
+from ..resilience import Budget
 from .compare import compare_useful_fractions, format_comparison
 from .runner import RowResult, cumulative, format_table
 from .table1 import run as run_table1
@@ -40,8 +41,14 @@ def _scaled_profiles(profiles, scale, cap, designs):
 def generate_report(scale: float = 0.35,
                     max_registers: Optional[int] = 300,
                     designs_t1: Optional[Sequence[str]] = None,
-                    designs_t2: Optional[Sequence[str]] = None) -> str:
-    """Run both tables and render a markdown report."""
+                    designs_t2: Optional[Sequence[str]] = None,
+                    budget: Optional[Budget] = None) -> str:
+    """Run both tables and render a markdown report.
+
+    ``budget`` is split evenly between the tables (Table 1 runs on a
+    half slice, Table 2 on the remainder); exhausted designs render as
+    error rows, so the report always completes.
+    """
     # Monotonic timing (obs.Stopwatch wraps perf_counter): time.time()
     # is subject to NTP steps and can yield negative durations.
     watch = obs.stopwatch()
@@ -55,7 +62,9 @@ def generate_report(scale: float = 0.35,
     ]
     with obs.span("report/table1"):
         rows1 = run_table1(scale=scale, designs=designs_t1,
-                           max_registers=max_registers)
+                           max_registers=max_registers,
+                           budget=budget.slice(0.5, name="report/t1")
+                           if budget else None)
     lines.append("```")
     lines.append(format_table(rows1, "Table 1: ISCAS89 "
                                      "(profile-synthesized)"))
@@ -71,7 +80,7 @@ def generate_report(scale: float = 0.35,
 
     with obs.span("report/table2"):
         rows2 = run_table2(scale=scale, designs=designs_t2,
-                           max_registers=max_registers)
+                           max_registers=max_registers, budget=budget)
     lines.append("```")
     lines.append(format_table(rows2, "Table 2: GP (profile-synthesized,"
                                      " phase-abstracted)"))
@@ -114,12 +123,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--max-registers", type=int, default=300)
     parser.add_argument("--designs-t1", type=str, default=None)
     parser.add_argument("--designs-t2", type=str, default=None)
+    parser.add_argument("--timeout", type=float, default=0,
+                        help="wall-clock budget in seconds for the "
+                             "whole report (0 = unlimited)")
     args = parser.parse_args(argv)
     report = generate_report(
         scale=args.scale,
         max_registers=args.max_registers or None,
         designs_t1=args.designs_t1.split(",") if args.designs_t1 else None,
         designs_t2=args.designs_t2.split(",") if args.designs_t2 else None,
+        budget=Budget(wall_seconds=args.timeout, name="report")
+        if args.timeout else None,
     )
     if args.out:
         with open(args.out, "w") as handle:

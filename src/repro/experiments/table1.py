@@ -17,6 +17,7 @@ import argparse
 from typing import List, Optional, Sequence
 
 from ..gen import iscas89
+from ..resilience import Budget
 from ..transform import SweepConfig
 from .compare import compare_useful_fractions, format_comparison
 from .runner import EXPERIMENT_SWEEP, RowResult, format_table, run_table
@@ -25,11 +26,18 @@ from .runner import EXPERIMENT_SWEEP, RowResult, format_table, run_table
 def run(scale: float = 1.0,
         designs: Optional[Sequence[str]] = None,
         max_registers: Optional[int] = None,
-        sweep_config: Optional[SweepConfig] = None) -> List[RowResult]:
-    """Evaluate the Table 1 designs; returns the per-design rows."""
+        sweep_config: Optional[SweepConfig] = None,
+        budget: Optional[Budget] = None) -> List[RowResult]:
+    """Evaluate the Table 1 designs; returns the per-design rows.
+
+    ``budget`` bounds the whole table cooperatively; designs that do
+    not fit the remaining budget become error rows (the table always
+    completes).
+    """
     return run_table(iscas89.generate, iscas89.profiles(), scale=scale,
                      designs=designs, max_registers=max_registers,
-                     sweep_config=sweep_config or EXPERIMENT_SWEEP)
+                     sweep_config=sweep_config or EXPERIMENT_SWEEP,
+                     budget=budget)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -41,10 +49,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="comma-separated design subset")
     parser.add_argument("--max-registers", type=int, default=400,
                         help="per-design register cap (0 = none)")
+    parser.add_argument("--timeout", type=float, default=0,
+                        help="wall-clock budget in seconds for the "
+                             "whole table (0 = unlimited); exhausted "
+                             "designs become error rows")
     args = parser.parse_args(argv)
     designs = args.designs.split(",") if args.designs else None
+    budget = Budget(wall_seconds=args.timeout, name="table1") \
+        if args.timeout else None
     rows = run(scale=args.scale, designs=designs,
-               max_registers=args.max_registers or None)
+               max_registers=args.max_registers or None, budget=budget)
     print(format_table(rows, "Table 1: ISCAS89 (profile-synthesized)"))
     print()
     profiles = [p.scaled(min(args.scale,

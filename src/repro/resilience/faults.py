@@ -1,0 +1,139 @@
+"""Deterministic fault injection for the solver-backed engines.
+
+Failures in this stack are rare and timing-dependent — a SAT query
+that blows its deadline on one machine finishes on another — so the
+degradation paths they trigger would go untested without a way to
+*script* them.  This module provides that: a :class:`FaultPlan` names
+solver-call indices (every ``Solver.solve`` increments one shared
+counter while a plan is active) and the fault to inject at each:
+
+* ``"timeout"`` — the solver behaves exactly as if its wall-clock
+  deadline expired: returns ``unknown`` with
+  ``last_exhaustion == "deadline"``;
+* ``"unknown"`` — a spurious inconclusive answer (``unknown`` with no
+  exhaustion reason), the shape a flaky external solver produces;
+* ``"crash"`` — raises :class:`~repro.resilience.EngineFailure`, the
+  shape of a hard engine failure mid-pipeline.
+
+Plans are installed for a dynamic extent with :func:`inject` and are
+deterministic by construction (indices, not probabilities), so a test
+can assert a degradation path at *every* call index reproducibly::
+
+    plan = FaultPlan(at={3: FAULT_TIMEOUT})
+    with inject(plan):
+        result = prove(net)          # call #3 times out
+    assert plan.calls > 3 and plan.injected == [(3, "timeout")]
+
+The hook is consulted by ``Solver.solve`` only; higher layers see
+faults through the same budget/error machinery real failures use, so
+an exercised path is exercised for real.  Not thread-safe (the active
+plan is process-global), matching the rest of the library.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from .errors import EngineFailure
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_CRASH",
+    "FAULT_TIMEOUT",
+    "FAULT_UNKNOWN",
+    "FaultPlan",
+    "active_plan",
+    "inject",
+    "on_solve",
+]
+
+#: Injectable fault kinds.
+FAULT_TIMEOUT = "timeout"
+FAULT_UNKNOWN = "unknown"
+FAULT_CRASH = "crash"
+FAULT_ACTIONS = (FAULT_TIMEOUT, FAULT_UNKNOWN, FAULT_CRASH)
+
+
+class FaultPlan:
+    """A scripted schedule of faults over solver-call indices.
+
+    ``at`` maps 0-based call indices to fault actions (or is a plain
+    iterable of indices, all injecting ``action``); ``after`` makes
+    every call with index >= ``after`` fault with ``action`` — the
+    "engine is down from here on" scenario.  ``calls`` counts every
+    solve observed while the plan was active; ``injected`` records
+    ``(index, action)`` pairs actually fired, so tests can assert the
+    fault landed where scripted.
+    """
+
+    def __init__(self,
+                 at: Union[Dict[int, str], Iterable[int], None] = None,
+                 after: Optional[int] = None,
+                 action: str = FAULT_TIMEOUT) -> None:
+        if action not in FAULT_ACTIONS:
+            raise ValueError(f"unknown fault action {action!r}")
+        if isinstance(at, dict):
+            schedule = dict(at)
+        elif at is None:
+            schedule = {}
+        else:
+            schedule = {int(i): action for i in at}
+        for index, act in schedule.items():
+            if index < 0:
+                raise ValueError(f"call index must be >= 0, got {index}")
+            if act not in FAULT_ACTIONS:
+                raise ValueError(f"unknown fault action {act!r}")
+        if after is not None and after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        self.at = schedule
+        self.after = after
+        self.action = action
+        self.calls = 0
+        self.injected: List[Tuple[int, str]] = []
+
+    def next_action(self) -> Optional[str]:
+        """The fault for the current call index (advances the index)."""
+        index = self.calls
+        self.calls += 1
+        fault = self.at.get(index)
+        if fault is None and self.after is not None \
+                and index >= self.after:
+            fault = self.action
+        if fault is not None:
+            self.injected.append((index, fault))
+        return fault
+
+
+#: The currently installed plan (process-global, like obs' registry).
+_active: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan currently installed by :func:`inject`, if any."""
+    return _active
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the dynamic extent; restores the previous
+    plan (usually none) on exit."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def on_solve(engine: str = "sat.solver") -> Optional[str]:
+    """The solver-side hook: returns the scheduled fault action for
+    this call (None without a plan or scheduled fault), raising
+    directly for ``crash`` faults."""
+    if _active is None:
+        return None
+    fault = _active.next_action()
+    if fault == FAULT_CRASH:
+        raise EngineFailure(engine, "injected crash fault")
+    return fault

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from ..resilience import Budget, Cancelled
 from .cnf import lit_not, pos
 from .solver import UNKNOWN, UNSAT, Solver
 from .tseitin import CnfSink
@@ -44,13 +45,15 @@ class QBFResult:
     ``counterexample`` carries the refuting universal assignment
     otherwise; ``iterations`` counts CEGAR refinements; ``exact`` is
     False if the solver gave up on a resource budget (treat as
-    unknown).
+    unknown), with the structured cause in ``exhaustion_reason``
+    (None for an iteration-cap exit or spurious solver unknown).
     """
 
     valid: bool
     counterexample: Optional[List[bool]] = None
     iterations: int = 0
     exact: bool = True
+    exhaustion_reason: Optional[str] = None
 
 
 def solve_forall_exists(
@@ -59,8 +62,15 @@ def solve_forall_exists(
     encode: MatrixEncoder,
     max_iterations: int = 10000,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> QBFResult:
-    """Decide ``forall X exists Y . phi(X, Y)`` by CEGAR."""
+    """Decide ``forall X exists Y . phi(X, Y)`` by CEGAR.
+
+    ``conflict_budget`` follows the ``Solver.solve`` contract per
+    inner query; ``budget`` is checked per CEGAR iteration and inside
+    both solvers (exhaustion yields an inexact result, cancellation
+    raises).
+    """
     # Verifier: one shared copy of phi with free X and Y.
     verifier = Solver()
     v_sink = CnfSink(verifier)
@@ -77,20 +87,31 @@ def solve_forall_exists(
     iterations = 0
     while iterations < max_iterations:
         iterations += 1
-        status = abstraction.solve(conflict_budget=conflict_budget)
+        if budget is not None:
+            if budget.cancelled:
+                raise Cancelled(budget_name=budget.name)
+            reason = budget.exhausted()
+            if reason is not None:
+                return QBFResult(valid=False, iterations=iterations,
+                                 exact=False, exhaustion_reason=reason)
+        status = abstraction.solve(conflict_budget=conflict_budget,
+                                   budget=budget)
         if status == UNKNOWN:
-            return QBFResult(valid=False, iterations=iterations,
-                             exact=False)
+            return QBFResult(
+                valid=False, iterations=iterations, exact=False,
+                exhaustion_reason=abstraction.last_exhaustion)
         if status == UNSAT:
             return QBFResult(valid=True, iterations=iterations)
         candidate = [abstraction.model[lit >> 1] for lit in ax]
         assumptions = [lit if value else lit_not(lit)
                        for lit, value in zip(vx, candidate)]
         status = verifier.solve(assumptions,
-                                conflict_budget=conflict_budget)
+                                conflict_budget=conflict_budget,
+                                budget=budget)
         if status == UNKNOWN:
-            return QBFResult(valid=False, iterations=iterations,
-                             exact=False)
+            return QBFResult(
+                valid=False, iterations=iterations, exact=False,
+                exhaustion_reason=verifier.last_exhaustion)
         if status == UNSAT:
             # No Y exists for this X: genuine counterexample.
             return QBFResult(valid=False, counterexample=candidate,
@@ -110,6 +131,7 @@ def solve_exists_forall(
     encode: MatrixEncoder,
     max_iterations: int = 10000,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> QBFResult:
     """Decide ``exists X forall Y . phi(X, Y)``.
 
@@ -123,8 +145,10 @@ def solve_exists_forall(
 
     inner = solve_forall_exists(num_x, num_y, negated,
                                 max_iterations=max_iterations,
-                                conflict_budget=conflict_budget)
+                                conflict_budget=conflict_budget,
+                                budget=budget)
     return QBFResult(valid=not inner.valid and inner.exact,
                      counterexample=inner.counterexample,
                      iterations=inner.iterations,
-                     exact=inner.exact)
+                     exact=inner.exact,
+                     exhaustion_reason=inner.exhaustion_reason)

@@ -17,6 +17,9 @@ import heapq
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from .. import obs
+from ..resilience import Budget, Cancelled, EngineFailure, \
+    EXHAUSTED_CONFLICTS, EXHAUSTED_DEADLINE
+from ..resilience import faults as _faults
 from .cnf import CNF, lit_not, lit_sign, lit_var
 
 #: Tri-state results of :meth:`Solver.solve`.
@@ -67,6 +70,11 @@ class Solver:
         self.restarts = 0
         #: Per-call deltas of the last :meth:`solve` invocation.
         self.last_call_stats: Dict[str, int] = {}
+        #: Why the last :meth:`solve` returned ``unknown``: one of the
+        #: :data:`repro.resilience.EXHAUSTION_REASONS`, or None when
+        #: the call was conclusive (or inconclusive for a non-resource
+        #: reason, e.g. an injected spurious unknown).
+        self.last_exhaustion: Optional[str] = None
 
     def stats(self) -> Dict[str, int]:
         """A snapshot of the lifetime statistic totals."""
@@ -150,23 +158,45 @@ class Solver:
         self,
         assumptions: Sequence[int] = (),
         conflict_budget: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> str:
         """Solve under ``assumptions``; returns ``sat``/``unsat``/``unknown``.
 
-        ``conflict_budget`` bounds the number of conflicts explored
-        (``unknown`` on exhaustion).  On ``sat``, :attr:`model` holds a
-        satisfying assignment indexed by variable.
+        ``conflict_budget`` contract (shared verbatim by every caller
+        that forwards the knob — BMC, k-induction, the recurrence and
+        QBF engines, and ``SweepConfig.conflict_budget``):
+
+        * ``None`` — unlimited: search until conclusive;
+        * ``n >= 0`` — explore at most ``n`` conflicts, then give up
+          with ``unknown`` (``0`` therefore aborts at the *first*
+          conflict; conflict-free instances still conclude);
+        * negative — a :class:`ValueError` (it used to silently mean
+          "unlimited", which callers confused with ``0``).
+
+        ``budget`` is a cooperative :class:`repro.resilience.Budget`
+        checked at call entry and then once per conflict (and
+        periodically per decision, for conflict-free instances): on a
+        wall-clock deadline or pool exhaustion the call returns
+        ``unknown`` with the structured reason in
+        :attr:`last_exhaustion`; a cancelled budget raises
+        :class:`~repro.resilience.Cancelled`.  On ``sat``,
+        :attr:`model` holds a satisfying assignment indexed by
+        variable.
 
         Statistic counters accumulate across calls (lifetime totals);
         the per-call deltas land in :attr:`last_call_stats` and are
         published to the active :mod:`repro.obs` registry under the
         ``sat.*`` counters and the ``sat.solve`` span.
         """
+        if conflict_budget is not None and conflict_budget < 0:
+            raise ValueError("conflict_budget must be None or >= 0, "
+                             f"got {conflict_budget}")
         before = (self.conflicts, self.decisions, self.propagations,
                   self.restarts)
         reg = obs.get_registry()
         with reg.span("sat.solve"):
-            result = self._search(assumptions, conflict_budget)
+            result = self._solve_governed(assumptions, conflict_budget,
+                                          budget)
         delta = {
             "conflicts": self.conflicts - before[0],
             "decisions": self.decisions - before[1],
@@ -181,10 +211,52 @@ class Solver:
                 reg.counter(f"sat.{key}", value)
         return result
 
+    def _solve_governed(
+        self,
+        assumptions: Sequence[int],
+        conflict_budget: Optional[int],
+        budget: Optional[Budget],
+    ) -> str:
+        """Fault-injection and budget gatekeeping around the search."""
+        self.last_exhaustion = None
+        try:
+            fault = _faults.on_solve()
+        except EngineFailure:
+            obs.counter("faults.crash")
+            raise
+        if fault is not None:
+            obs.counter(f"faults.{fault}")
+            if fault == _faults.FAULT_TIMEOUT:
+                # Behave exactly like a blown wall-clock deadline.
+                self.last_exhaustion = EXHAUSTED_DEADLINE
+            return UNKNOWN
+        if budget is not None:
+            if budget.cancelled:
+                raise Cancelled(budget_name=budget.name)
+            reason = budget.exhausted()
+            if reason is not None:
+                self.last_exhaustion = reason
+                return UNKNOWN
+            budget.charge_query()
+        return self._search(assumptions, conflict_budget, budget)
+
+    def _budget_stop(self, budget: Budget) -> Optional[str]:
+        """Cooperative in-search budget check; raises on cancellation,
+        returns the exhaustion reason (None to keep searching)."""
+        if budget.cancelled:
+            self._cancel_until(0)
+            raise Cancelled(budget_name=budget.name)
+        reason = budget.exhausted()
+        if reason is not None:
+            self._cancel_until(0)
+            self.last_exhaustion = reason
+        return reason
+
     def _search(
         self,
         assumptions: Sequence[int],
         conflict_budget: Optional[int],
+        budget: Optional[Budget] = None,
     ) -> str:
         if not self._ok:
             return UNSAT
@@ -213,9 +285,14 @@ class Solver:
                 self._cancel_until(back_level)
                 self._record_learnt(learnt)
                 self._decay_activities()
+                if budget is not None:
+                    budget.charge_conflicts()
+                    if self._budget_stop(budget) is not None:
+                        return UNKNOWN
                 if conflict_budget is not None and \
                         self.conflicts - budget_start >= conflict_budget:
                     self._cancel_until(0)
+                    self.last_exhaustion = EXHAUSTED_CONFLICTS
                     return UNKNOWN
                 if conflicts_here >= limit:
                     self.restarts += 1
@@ -248,6 +325,11 @@ class Solver:
                 self._cancel_until(0)
                 return SAT
             self.decisions += 1
+            # Deadline/cancellation probe for conflict-free instances
+            # (pure propagation never reaches the conflict-side check).
+            if budget is not None and (self.decisions & 255) == 0 \
+                    and self._budget_stop(budget) is not None:
+                return UNKNOWN
             self._trail_lim.append(len(self._trail))
             self._enqueue(lit, None)
 

@@ -34,6 +34,7 @@ from ..diameter.structural import StructuralAnalysis
 from ..experiments.runner import PIPELINES, evaluate_design
 from ..gen import iscas89
 from ..netlist import s27
+from ..resilience import Budget, FaultPlan, inject
 from ..unroll import bmc
 
 #: The fixed experiment slice: small-to-medium profiles at full scale
@@ -55,8 +56,14 @@ def _git_rev() -> str:
         return "dev"
 
 
-def run_workload(reg: obs.Registry) -> Dict[str, Any]:
-    """Execute the fixed workload; returns the per-section summary."""
+def run_workload(reg: obs.Registry,
+                 budget: Optional[Budget] = None) -> Dict[str, Any]:
+    """Execute the fixed workload; returns the per-section summary.
+
+    ``budget`` (from ``--timeout``) bounds the experiment-harness
+    section only — the fixed engine sections stay unbudgeted so their
+    timings remain comparable across revisions.
+    """
     sections: Dict[str, Any] = {}
     net = s27()
 
@@ -107,23 +114,48 @@ def run_workload(reg: obs.Registry) -> Dict[str, Any]:
         for name in BENCH_DESIGNS:
             profile = iscas89.profile(name).scaled(BENCH_SCALE)
             design = iscas89.generate(profile.name, scale=BENCH_SCALE)
-            row = evaluate_design(design)
+            row = evaluate_design(design, budget=budget)
             designs[name] = {
                 pipeline: row.columns[pipeline].seconds
                 for pipeline in PIPELINES
             }
     sections["experiments"] = {"seconds": sp.seconds,
                                "per_design": designs}
+
+    # Resource-governance micro-workload: a pre-exhausted budget and an
+    # injected timeout fault drive the degradation paths every run, so
+    # their counters and outcomes are tracked revision over revision.
+    with reg.span("bench/resilience") as sp:
+        starved = prove(net, budget=Budget(conflicts=0,
+                                           name="bench-starved"))
+        with inject(FaultPlan(at={0: "timeout"})):
+            aborted = bmc(net, max_depth=4)
+    sections["resilience"] = {
+        "seconds": sp.seconds,
+        "prove_status": starved.status,
+        "prove_method": starved.method,
+        "prove_degraded": starved.degraded,
+        "prove_bound": starved.bound,
+        "prove_exhaustion": starved.exhaustion_reason,
+        "bmc_status": aborted.status,
+        "bmc_exhaustion": aborted.exhaustion_reason,
+    }
     return sections
 
 
-def run_bench(rev: str) -> Dict[str, Any]:
+def run_bench(rev: str, timeout: float = 0) -> Dict[str, Any]:
     """Run the workload in a scoped registry; returns the artifact."""
+    budget = Budget(wall_seconds=timeout, name="bench") \
+        if timeout else None
     with obs.scoped(obs.Registry(f"bench-{rev}")) as reg:
-        sections = run_workload(reg)
+        sections = run_workload(reg, budget=budget)
         snapshot = reg.snapshot()
     solver_keys = ("sat.conflicts", "sat.decisions", "sat.propagations",
                    "sat.restarts", "sat.solve_calls")
+    resilience_prefixes = ("resilience.", "faults.", "bmc.budget",
+                           "com.budget", "portfolio.budget",
+                           "portfolio.failures", "runner.",
+                           "structural.refinement_skips")
     return {
         "schema": "repro-bench-v1",
         "rev": rev,
@@ -138,6 +170,9 @@ def run_bench(rev: str) -> Dict[str, Any]:
         "sections": sections,
         "solver": {key: snapshot["counters"].get(key, 0)
                    for key in solver_keys},
+        "resilience": {key: value for key, value
+                       in sorted(snapshot["counters"].items())
+                       if key.startswith(resilience_prefixes)},
         "timers": snapshot["timers"],
         "counters": snapshot["counters"],
     }
@@ -150,9 +185,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="revision label (default: git short hash)")
     parser.add_argument("--out", default=None,
                         help="output path (default: BENCH_<rev>.json)")
+    parser.add_argument("--timeout", type=float, default=0,
+                        help="wall-clock budget in seconds for the "
+                             "experiment-harness section (0 = "
+                             "unlimited); exhausted pipelines show up "
+                             "in the resilience stats")
     args = parser.parse_args(argv)
     rev = args.rev or _git_rev()
-    artifact = run_bench(rev)
+    artifact = run_bench(rev, timeout=args.timeout)
     path = args.out or f"BENCH_{rev}.json"
     with open(path, "w") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=False)

@@ -18,6 +18,7 @@ from typing import Optional, Sequence
 
 from ..core import TBVEngine
 from ..diameter import recurrence_diameter
+from ..resilience import Budget, ResourceExhausted
 from .io import load_netlist
 
 
@@ -42,6 +43,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--refine-gc", type=int, default=0,
                         help="reachable-state refinement for GCs up to "
                              "this many registers (structural bounder)")
+    parser.add_argument("--timeout", type=float, default=0,
+                        help="wall-clock budget in seconds (0 = "
+                             "unlimited); an exhausted COM degrades "
+                             "to fewer merges, bounds stay sound")
     args = parser.parse_args(argv)
 
     net = load_netlist(args.netlist)
@@ -53,7 +58,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     bounder = _recurrence_bounder if args.bounder == "recurrence" else None
     engine = TBVEngine(args.strategy, bounder=bounder,
                        refine_gc_limit=args.refine_gc)
-    result = engine.run(net)
+    budget = Budget(wall_seconds=args.timeout, name="bound") \
+        if args.timeout else None
+    try:
+        result = engine.run(net, budget=budget)
+    except ResourceExhausted as exc:
+        # Sound degradation: bound the untransformed netlist instead
+        # (the structural bounder always terminates).
+        print(f"budget exhausted ({exc.reason}); bounding the "
+              "untransformed netlist instead")
+        engine = TBVEngine("", bounder=bounder,
+                           refine_gc_limit=args.refine_gc)
+        result = engine.run(net)
     print(f"after {args.strategy or '(no transformation)'}: "
           f"{result.netlist}")
     for report in result.reports:

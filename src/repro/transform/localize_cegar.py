@@ -27,7 +27,8 @@ from typing import List, Optional
 
 from ..diameter.structural import StructuralAnalysis
 from ..netlist import Netlist
-from ..unroll import FALSIFIED, PROVEN, bmc
+from ..resilience import Budget, Cancelled
+from ..unroll import ABORTED, FALSIFIED, PROVEN, bmc
 from .approx import localize_by_distance
 
 #: Loop outcomes.
@@ -45,6 +46,7 @@ class LocalizationResult:
     abstraction_registers: int = 0
     history: List[str] = field(default_factory=list)
     counterexample_depth: Optional[int] = None
+    exhaustion_reason: Optional[str] = None
 
 
 def localization_refinement(
@@ -53,8 +55,16 @@ def localization_refinement(
     initial_radius: int = 1,
     max_depth: int = 64,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> LocalizationResult:
-    """Run the CEGAR loop for one target; see the module docstring."""
+    """Run the CEGAR loop for one target; see the module docstring.
+
+    ``budget`` is checked per refinement iteration and threaded into
+    the inner BMC runs; exhaustion returns an ``exhausted`` result
+    carrying a structured ``exhaustion_reason`` (which is sound — the
+    loop only ever concludes from definitive inner verdicts),
+    cancellation raises :class:`Cancelled`.
+    """
     if target is None:
         if not net.targets:
             raise ValueError("netlist has no targets")
@@ -65,6 +75,15 @@ def localization_refinement(
     history: List[str] = []
     while True:
         iterations += 1
+        if budget is not None:
+            if budget.cancelled:
+                raise Cancelled(budget_name=budget.name)
+            reason = budget.exhausted()
+            if reason is not None:
+                return LocalizationResult(
+                    status=REFINED_OUT, iterations=iterations,
+                    final_radius=radius, history=history,
+                    exhaustion_reason=reason)
         abstraction_result = localize_by_distance(net, target, radius)
         abstraction = abstraction_result.netlist
         abs_target = abstraction_result.step.target_map[target]
@@ -72,11 +91,19 @@ def localization_refinement(
             raise RuntimeError("target vanished during localization")
 
         exact = len(abstraction.state_elements) >= total_registers
-        bound = StructuralAnalysis(abstraction).bound(abs_target)
+        bound = StructuralAnalysis(abstraction, budget=budget) \
+            .bound(abs_target)
         window = min(bound, max_depth)
         check = bmc(abstraction, abs_target, max_depth=window,
                     complete_bound=bound if bound <= max_depth else None,
-                    conflict_budget=conflict_budget)
+                    conflict_budget=conflict_budget, budget=budget)
+        if check.status == ABORTED:
+            return LocalizationResult(
+                status=REFINED_OUT, iterations=iterations,
+                final_radius=radius, abstraction=abstraction,
+                abstraction_registers=len(abstraction.state_elements),
+                history=history,
+                exhaustion_reason=check.exhaustion_reason)
         history.append(
             f"radius={radius} regs={len(abstraction.state_elements)}"
             f"/{total_registers} bound={bound} -> {check.status}")
@@ -98,7 +125,15 @@ def localization_refinement(
             # Concretization check: exact bounded query on the
             # original netlist at the abstract counterexample depth.
             concrete = bmc(net, target, max_depth=depth + 1,
-                           conflict_budget=conflict_budget)
+                           conflict_budget=conflict_budget,
+                           budget=budget)
+            if concrete.status == ABORTED:
+                return LocalizationResult(
+                    status=REFINED_OUT, iterations=iterations,
+                    final_radius=radius, abstraction=abstraction,
+                    abstraction_registers=len(abstraction.state_elements),
+                    history=history,
+                    exhaustion_reason=concrete.exhaustion_reason)
             if concrete.status == FALSIFIED:
                 return LocalizationResult(
                     status="falsified", iterations=iterations,

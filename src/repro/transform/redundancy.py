@@ -38,6 +38,7 @@ from ..netlist import (
     rebuild,
     topological_order,
 )
+from ..resilience import Budget, Cancelled
 from ..sat import UNSAT, CnfSink, Solver, encode_frame, \
     encode_init_state, encode_mux, lit_not, pos
 from ..sim import constant_state_elements, random_signatures
@@ -54,12 +55,17 @@ class SweepConfig:
     classes are discarded.  ``None`` (the default) iterates to the
     fixpoint, which is reached after at most one round per candidate
     pair.
+
+    ``conflict_budget`` follows the ``Solver.solve`` contract (None =
+    unlimited, ``n >= 0`` = per-query cap) and applies to every sweep
+    query individually; an inconclusive query simply drops its pair,
+    which is always sound.
     """
 
     sim_cycles: int = 16
     sim_width: int = 64
     seed: int = 2004
-    conflict_budget: int = 2000
+    conflict_budget: Optional[int] = 2000
     max_rounds: Optional[int] = None
     max_class_size: int = 64
 
@@ -76,9 +82,11 @@ def _levels(net: Netlist) -> Dict[int, int]:
 class _InductiveChecker:
     """SAT checks for the induction step and the initial-state base."""
 
-    def __init__(self, net: Netlist, config: SweepConfig) -> None:
+    def __init__(self, net: Netlist, config: SweepConfig,
+                 budget: Optional[Budget] = None) -> None:
         self.net = net
         self.config = config
+        self.budget = budget
         # Step model: frame 0 with free leaves feeding frame 1.
         self.step_solver = Solver()
         sink = CnfSink(self.step_solver)
@@ -133,7 +141,8 @@ class _InductiveChecker:
         sink.add_clause([lit_not(diff), lit_not(la), lit_not(lb)])
         obs.counter("com.sat_queries")
         result = solver.solve(assumptions + [diff],
-                              conflict_budget=self.config.conflict_budget)
+                              conflict_budget=self.config.conflict_budget,
+                              budget=self.budget)
         return result == UNSAT
 
     def pair_holds_at_init(self, a: int, b: int) -> bool:
@@ -146,7 +155,8 @@ class _InductiveChecker:
         sink.add_clause([lit_not(diff), lit_not(la), lit_not(lb)])
         obs.counter("com.sat_queries")
         result = solver.solve([diff],
-                              conflict_budget=self.config.conflict_budget)
+                              conflict_budget=self.config.conflict_budget,
+                              budget=self.budget)
         return result == UNSAT
 
 
@@ -170,6 +180,7 @@ def redundancy_removal(
     net: Netlist,
     config: Optional[SweepConfig] = None,
     name_suffix: str = "com",
+    budget: Optional[Budget] = None,
 ) -> TransformResult:
     """Apply the COM redundancy-removal engine to ``net``.
 
@@ -178,15 +189,33 @@ def redundancy_removal(
     set is unchanged.  Instrumented under the ``transform.com`` span
     with ``com.rounds`` / ``com.sat_queries`` / ``com.merges``
     counters.
+
+    ``budget`` makes the sweep cooperative: cancellation raises
+    :class:`Cancelled`; exhaustion discards every not-yet-verified
+    candidate class (the surviving merges would otherwise rest on an
+    unfinished fixpoint — discarding is sound, the transform simply
+    merges less) and is recorded via the ``com.budget_aborts``
+    counter.  Ternary-constant merges never need SAT and are kept.
     """
     with obs.span("transform.com"):
-        return _sweep(net, config or SweepConfig(), name_suffix)
+        return _sweep(net, config or SweepConfig(), name_suffix, budget)
+
+
+def _budget_drained(budget: Optional[Budget]) -> bool:
+    """Cooperative sweep check: raises on cancellation, True when the
+    budget is exhausted and SAT work must stop."""
+    if budget is None:
+        return False
+    if budget.cancelled:
+        raise Cancelled(budget_name=budget.name)
+    return budget.exhausted() is not None
 
 
 def _sweep(
     net: Netlist,
     config: SweepConfig,
     name_suffix: str,
+    budget: Optional[Budget] = None,
 ) -> TransformResult:
     substitution: Dict[int, int] = {}
 
@@ -207,8 +236,11 @@ def _sweep(
     # Phase 2/3: simulation candidates refined to an inductive fixpoint.
     in_cone = set(work)
     classes = _candidate_classes(work, config, in_cone)
+    if classes and _budget_drained(budget):
+        obs.counter("com.budget_aborts")
+        classes = []
     if classes:
-        checker = _InductiveChecker(work, config)
+        checker = _InductiveChecker(work, config, budget)
         # The refinement removes at least one candidate pair per
         # changing round, so the fixpoint arrives within `total pairs`
         # rounds; an explicit cap (if configured) is a resource valve.
@@ -217,6 +249,12 @@ def _sweep(
             else config.max_rounds
         converged = False
         for _ in range(limit):
+            if _budget_drained(budget):
+                # Mid-refinement exhaustion: the classes are not at a
+                # fixpoint, so none of the pending proofs stand.
+                obs.counter("com.budget_aborts")
+                classes = []
+                break
             obs.counter("com.rounds")
             assumptions = checker.assume_lits(classes)
             new_classes: List[List[int]] = []
@@ -248,6 +286,10 @@ def _sweep(
         # Base case: equivalence must also hold in the initial states.
         verified: List[List[int]] = []
         for cls in classes:
+            if _budget_drained(budget):
+                # Classes not yet base-verified are dropped wholesale.
+                obs.counter("com.budget_aborts")
+                break
             rep = cls[0]
             kept = [rep]
             for other in cls[1:]:

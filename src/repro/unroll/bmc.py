@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 
 from .. import obs
 from ..netlist import Netlist
+from ..resilience import Budget, Cancelled
 from ..sat import SAT, UNKNOWN
 from .unroller import Unrolling
 
@@ -51,6 +52,10 @@ class BMCResult:
     * :data:`ABORTED` — the solver resourced out at frame ``t``,
       which is therefore unresolved: ``depth_checked == t``.  An
       abort on the very first query gives ``depth_checked == 0``.
+      ``exhaustion_reason`` carries the structured cause (one of
+      :data:`repro.resilience.EXHAUSTION_REASONS`, or None for a
+      non-resource inconclusive answer such as an injected spurious
+      unknown).
     * :data:`BOUNDED` — every queried frame refuted;
       ``depth_checked`` equals the window actually examined
       (``min(max_depth, complete_bound)`` when a bound was supplied).
@@ -66,11 +71,22 @@ class BMCResult:
     target: int
     depth_checked: int
     counterexample: Optional[Counterexample] = None
+    exhaustion_reason: Optional[str] = None
 
     @property
     def is_complete(self) -> bool:
         """True when the verdict is definitive (proven/falsified)."""
         return self.status in (FALSIFIED, PROVEN)
+
+
+def _budget_abort(budget: Optional[Budget]) -> Optional[str]:
+    """Pre-frame cooperative check: raises on cancellation, returns
+    the exhaustion reason (None to keep going)."""
+    if budget is None:
+        return None
+    if budget.cancelled:
+        raise Cancelled(budget_name=budget.name)
+    return budget.exhausted()
 
 
 def bmc(
@@ -79,13 +95,18 @@ def bmc(
     max_depth: int = 20,
     complete_bound: Optional[int] = None,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> BMCResult:
     """Check target reachability for depths ``0 .. max_depth - 1``.
 
     ``complete_bound`` is a diameter bound for the target: if the
     window covers ``0 .. complete_bound - 1`` with no hit, the target
     is declared :data:`PROVEN` unreachable.  Returns the first
-    counterexample otherwise.
+    counterexample otherwise.  ``conflict_budget`` follows the
+    ``Solver.solve`` contract; ``budget`` is checked before every
+    frame (and cooperatively inside each solve) — exhaustion yields
+    :data:`ABORTED` with a structured ``exhaustion_reason``,
+    cancellation raises.
     """
     if target is None:
         if not net.targets:
@@ -98,10 +119,16 @@ def bmc(
     reg = obs.get_registry()
     with reg.span("bmc"):
         for t in range(depth):
+            reason = _budget_abort(budget)
+            if reason is not None:
+                reg.counter("bmc.budget_aborts")
+                return BMCResult(ABORTED, target, t,
+                                 exhaustion_reason=reason)
             lit = unroll.literal(target, t)
             with reg.span("frame") as frame_span:
                 result = unroll.solver.solve(
-                    [lit], conflict_budget=conflict_budget)
+                    [lit], conflict_budget=conflict_budget,
+                    budget=budget)
             reg.event("bmc.frame", t=t, result=result,
                       seconds=frame_span.seconds)
             if result == SAT:
@@ -114,7 +141,9 @@ def bmc(
                 )
                 return BMCResult(FALSIFIED, target, t + 1, cex)
             if result == UNKNOWN:
-                return BMCResult(ABORTED, target, t)
+                return BMCResult(
+                    ABORTED, target, t,
+                    exhaustion_reason=unroll.solver.last_exhaustion)
     if complete_bound is not None and depth >= complete_bound:
         return BMCResult(PROVEN, target, depth)
     return BMCResult(BOUNDED, target, depth)
@@ -126,6 +155,7 @@ def bmc_multi(
     max_depth: int = 20,
     complete_bounds: Optional[Dict[int, int]] = None,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Dict[int, BMCResult]:
     """Check many targets over one shared unrolling.
 
@@ -154,10 +184,17 @@ def bmc_multi(
                 # Frames 0 .. t-1 all refuted (t >= bound suffices).
                 results[target] = BMCResult(PROVEN, target, t)
                 continue
+            reason = _budget_abort(budget)
+            if reason is not None:
+                reg.counter("bmc.budget_aborts")
+                results[target] = BMCResult(ABORTED, target, t,
+                                            exhaustion_reason=reason)
+                continue
             lit = unroll.literal(target, t)
             with reg.span("bmc.multi/frame"):
                 outcome = unroll.solver.solve(
-                    [lit], conflict_budget=conflict_budget)
+                    [lit], conflict_budget=conflict_budget,
+                    budget=budget)
             if outcome == SAT:
                 model = unroll.solver.model
                 cex = Counterexample(
@@ -168,7 +205,9 @@ def bmc_multi(
                 )
                 results[target] = BMCResult(FALSIFIED, target, t + 1, cex)
             elif outcome == UNKNOWN:
-                results[target] = BMCResult(ABORTED, target, t)
+                results[target] = BMCResult(
+                    ABORTED, target, t,
+                    exhaustion_reason=unroll.solver.last_exhaustion)
             else:
                 still_open.append(target)
         open_targets = still_open

@@ -14,8 +14,10 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..netlist import Netlist
+from ..resilience import Budget
 from ..sat import UNKNOWN, UNSAT, CnfSink, encode_xor2, lit_not, pos
-from .bmc import BMCResult, FALSIFIED, PROVEN, BOUNDED, ABORTED, bmc
+from .bmc import BMCResult, FALSIFIED, PROVEN, BOUNDED, ABORTED, \
+    _budget_abort, bmc
 from .unroller import Unrolling
 
 
@@ -37,12 +39,15 @@ def k_induction(
     target: Optional[int] = None,
     max_k: int = 10,
     conflict_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> BMCResult:
     """Prove or falsify a target by k-induction up to ``max_k``.
 
     Returns :data:`PROVEN` (with ``depth_checked`` = the inductive k),
     :data:`FALSIFIED` (with a counterexample from the base case), or
     :data:`BOUNDED` if ``max_k`` is exhausted inconclusively.
+    ``budget`` is checked per step query (:data:`ABORTED` with a
+    structured ``exhaustion_reason`` on exhaustion).
     """
     if target is None:
         if not net.targets:
@@ -50,13 +55,17 @@ def k_induction(
         target = net.targets[0]
     # Base cases are discharged incrementally by plain BMC.
     base = bmc(net, target, max_depth=max_k + 1,
-               conflict_budget=conflict_budget)
+               conflict_budget=conflict_budget, budget=budget)
     if base.status in (FALSIFIED, ABORTED):
         return base
 
     # Step: an unconstrained simple path of k+1 states with the target
     # false at 0..k-1 and true at k must be UNSAT for inductiveness.
     for k in range(1, max_k + 1):
+        reason = _budget_abort(budget)
+        if reason is not None:
+            return BMCResult(ABORTED, target, k,
+                             exhaustion_reason=reason)
         step = Unrolling(net, constrain_init=False)
         solver = step.solver
         for i in range(k):
@@ -67,9 +76,12 @@ def k_induction(
                 add_state_difference(step.sink, step.state_lits[i],
                                      step.state_lits[j])
         result = solver.solve([step.literal(target, k)],
-                              conflict_budget=conflict_budget)
+                              conflict_budget=conflict_budget,
+                              budget=budget)
         if result == UNSAT:
             return BMCResult(PROVEN, target, k)
         if result == UNKNOWN:
-            return BMCResult(ABORTED, target, k)
+            return BMCResult(
+                ABORTED, target, k,
+                exhaustion_reason=solver.last_exhaustion)
     return BMCResult(BOUNDED, target, max_k)

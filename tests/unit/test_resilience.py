@@ -1,0 +1,339 @@
+"""Unit tests for the resource-governance layer (repro.resilience)."""
+
+import time
+
+import pytest
+
+from repro.resilience import (
+    Budget,
+    Cancelled,
+    EngineFailure,
+    EXHAUSTED_CONFLICTS,
+    EXHAUSTED_DEADLINE,
+    EXHAUSTED_QUERIES,
+    EXHAUSTION_REASONS,
+    FAULT_CRASH,
+    FAULT_TIMEOUT,
+    FAULT_UNKNOWN,
+    FaultPlan,
+    ResilienceError,
+    ResourceExhausted,
+    active_plan,
+    inject,
+)
+from repro.sat import SAT, UNKNOWN, UNSAT, Solver, lit_not, pos
+
+
+class TestBudgetBasics:
+    def test_unlimited_budget_never_exhausts(self):
+        b = Budget()
+        assert b.exhausted() is None
+        assert b.remaining_seconds() is None
+        assert b.remaining_conflicts() is None
+        assert b.remaining_queries() is None
+        b.check()  # no-op
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(wall_seconds=-1)
+        with pytest.raises(ValueError):
+            Budget(conflicts=-1)
+        with pytest.raises(ValueError):
+            Budget(queries=-1)
+
+    def test_zero_deadline_exhausts_as_deadline(self):
+        b = Budget(wall_seconds=0.0)
+        assert b.exhausted() == EXHAUSTED_DEADLINE
+
+    def test_zero_conflicts_exhausts_as_conflicts(self):
+        assert Budget(conflicts=0).exhausted() == EXHAUSTED_CONFLICTS
+
+    def test_zero_queries_exhausts_as_queries(self):
+        assert Budget(queries=0).exhausted() == EXHAUSTED_QUERIES
+
+    def test_deadline_reported_before_pools(self):
+        b = Budget(wall_seconds=0.0, conflicts=0, queries=0)
+        assert b.exhausted() == EXHAUSTED_DEADLINE
+
+    def test_charges_deplete_pools(self):
+        b = Budget(conflicts=3, queries=2)
+        b.charge_conflicts(2)
+        assert b.remaining_conflicts() == 1
+        b.charge_conflicts()
+        assert b.exhausted() == EXHAUSTED_CONFLICTS
+        b2 = Budget(queries=1)
+        b2.charge_query()
+        assert b2.exhausted() == EXHAUSTED_QUERIES
+
+    def test_check_raises_typed_errors(self):
+        b = Budget(conflicts=0, name="outer")
+        with pytest.raises(ResourceExhausted) as err:
+            b.check()
+        assert err.value.reason == EXHAUSTED_CONFLICTS
+        assert err.value.budget_name == "outer"
+        b2 = Budget()
+        b2.cancel()
+        with pytest.raises(Cancelled):
+            b2.check()
+
+    def test_cancellation_wins_over_exhaustion(self):
+        b = Budget(conflicts=0)
+        b.cancel()
+        with pytest.raises(Cancelled):
+            b.check()
+
+    def test_exhaustion_reasons_are_closed_set(self):
+        assert set(EXHAUSTION_REASONS) == {
+            EXHAUSTED_DEADLINE, EXHAUSTED_CONFLICTS, EXHAUSTED_QUERIES}
+
+
+class TestBudgetHierarchy:
+    def test_charges_propagate_to_ancestors(self):
+        parent = Budget(conflicts=10)
+        child = parent.subbudget(conflicts=8)
+        child.charge_conflicts(6)
+        assert parent.remaining_conflicts() == 4
+        # Child pool depleted independently of the parent's.
+        assert child.remaining_conflicts() == 2
+
+    def test_child_sees_tightest_pool_in_chain(self):
+        parent = Budget(conflicts=2)
+        child = parent.subbudget(conflicts=100)
+        assert child.remaining_conflicts() == 2
+        parent.charge_conflicts(2)
+        assert child.exhausted() == EXHAUSTED_CONFLICTS
+
+    def test_child_deadline_capped_by_parent(self):
+        parent = Budget(wall_seconds=0.0)
+        child = parent.subbudget(wall_seconds=100.0)
+        assert child.exhausted() == EXHAUSTED_DEADLINE
+
+    def test_cancellation_flows_down(self):
+        parent = Budget()
+        child = parent.subbudget()
+        grandchild = child.subbudget()
+        assert not grandchild.cancelled
+        parent.cancel()
+        assert grandchild.cancelled and child.cancelled
+
+    def test_cancelling_child_spares_parent(self):
+        parent = Budget()
+        child = parent.subbudget()
+        child.cancel()
+        assert child.cancelled and not parent.cancelled
+
+    def test_slice_takes_fraction_of_remaining(self):
+        parent = Budget(conflicts=100, queries=10)
+        half = parent.slice(0.5)
+        assert half.remaining_conflicts() == 50
+        assert half.remaining_queries() == 5
+        # Full slice of an unlimited budget stays unlimited.
+        assert Budget().slice(1.0).remaining_conflicts() is None
+
+    def test_slice_fraction_validated(self):
+        b = Budget()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                b.slice(bad)
+
+    def test_conflict_slice_combines_default_and_pool(self):
+        assert Budget().conflict_slice(500) == 500
+        assert Budget(conflicts=100).conflict_slice(500) == 100
+        assert Budget(conflicts=100).conflict_slice(50) == 50
+        assert Budget(conflicts=100).conflict_slice(None) == 100
+        assert Budget().conflict_slice(None) is None
+
+
+class TestErrorTaxonomy:
+    def test_hierarchy_roots_at_resilience_error(self):
+        for cls in (ResourceExhausted, EngineFailure, Cancelled):
+            assert issubclass(cls, ResilienceError)
+
+    def test_resource_exhausted_carries_reason(self):
+        err = ResourceExhausted(EXHAUSTED_DEADLINE, budget_name="b")
+        assert err.reason == EXHAUSTED_DEADLINE
+        assert err.budget_name == "b"
+        assert EXHAUSTED_DEADLINE in str(err)
+
+    def test_engine_failure_carries_engine_and_cause(self):
+        cause = RuntimeError("boom")
+        err = EngineFailure("sat.solver", "died", cause=cause)
+        assert err.engine == "sat.solver"
+        assert err.cause is cause
+        assert str(err).startswith("sat.solver:")
+
+
+class TestFaultPlan:
+    def test_invalid_actions_and_indices_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(action="segfault")
+        with pytest.raises(ValueError):
+            FaultPlan(at={0: "segfault"})
+        with pytest.raises(ValueError):
+            FaultPlan(at={-1: FAULT_TIMEOUT})
+        with pytest.raises(ValueError):
+            FaultPlan(after=-2)
+
+    def test_indexed_schedule_fires_once(self):
+        plan = FaultPlan(at={1: FAULT_UNKNOWN})
+        assert plan.next_action() is None
+        assert plan.next_action() == FAULT_UNKNOWN
+        assert plan.next_action() is None
+        assert plan.calls == 3
+        assert plan.injected == [(1, FAULT_UNKNOWN)]
+
+    def test_iterable_schedule_uses_default_action(self):
+        plan = FaultPlan(at=[0, 2], action=FAULT_CRASH)
+        assert plan.next_action() == FAULT_CRASH
+        assert plan.next_action() is None
+        assert plan.next_action() == FAULT_CRASH
+
+    def test_after_faults_every_later_call(self):
+        plan = FaultPlan(after=2)
+        assert [plan.next_action() for _ in range(4)] == \
+            [None, None, FAULT_TIMEOUT, FAULT_TIMEOUT]
+
+    def test_inject_installs_and_restores(self):
+        assert active_plan() is None
+        outer = FaultPlan()
+        inner = FaultPlan()
+        with inject(outer):
+            assert active_plan() is outer
+            with inject(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+        assert active_plan() is None
+
+
+def _unsat_solver():
+    """All four clauses over two variables: UNSAT, forces conflicts."""
+    solver = Solver()
+    a, b = pos(solver.new_var()), pos(solver.new_var())
+    for clause in ([a, b], [a, lit_not(b)], [lit_not(a), b],
+                   [lit_not(a), lit_not(b)]):
+        solver.add_clause(clause)
+    return solver
+
+
+def _pigeonhole_solver(pigeons=4, holes=3):
+    """PHP(4,3): UNSAT and resolution-hard — needs many conflicts."""
+    solver = Solver()
+    var = [[solver.new_var() for _ in range(holes)]
+           for _ in range(pigeons)]
+    for i in range(pigeons):
+        solver.add_clause([pos(var[i][j]) for j in range(holes)])
+    for j in range(holes):
+        for i in range(pigeons):
+            for k in range(i + 1, pigeons):
+                solver.add_clause([lit_not(pos(var[i][j])),
+                                   lit_not(pos(var[k][j]))])
+    return solver
+
+
+class TestSolverGovernance:
+    def test_conflict_budget_contract(self):
+        # None = unlimited.
+        assert _unsat_solver().solve() == UNSAT
+        # Conflict-free instances conclude even at budget 0.
+        easy = Solver()
+        x = pos(easy.new_var())
+        easy.add_clause([x])
+        assert easy.solve(conflict_budget=0) == SAT
+        assert easy.last_exhaustion is None
+        # A conflicted instance aborts at budget 0 with a reason.
+        hard = _unsat_solver()
+        assert hard.solve(conflict_budget=0) == UNKNOWN
+        assert hard.last_exhaustion == EXHAUSTED_CONFLICTS
+        # Negative budgets are a contract violation, not "abort fast".
+        with pytest.raises(ValueError):
+            _unsat_solver().solve(conflict_budget=-1)
+
+    def test_budget_deadline_yields_unknown(self):
+        solver = _unsat_solver()
+        result = solver.solve(budget=Budget(wall_seconds=0.0))
+        assert result == UNKNOWN
+        assert solver.last_exhaustion == EXHAUSTED_DEADLINE
+
+    def test_budget_queries_deplete_per_solve(self):
+        solver = Solver()
+        x = pos(solver.new_var())
+        solver.add_clause([x])
+        budget = Budget(queries=2)
+        assert solver.solve(budget=budget) == SAT
+        assert solver.solve(budget=budget) == SAT
+        assert solver.solve(budget=budget) == UNKNOWN
+        assert solver.last_exhaustion == EXHAUSTED_QUERIES
+
+    def test_budget_conflict_pool_shared_across_solves(self):
+        # PHP(4,3) needs far more than 2 conflicts, so the pool runs
+        # dry mid-search and the drained budget carries over.
+        budget = Budget(conflicts=2)
+        first = _pigeonhole_solver()
+        assert first.solve(budget=budget) == UNKNOWN
+        assert first.last_exhaustion == EXHAUSTED_CONFLICTS
+        assert budget.exhausted() == EXHAUSTED_CONFLICTS
+        # The same (shared) budget refuses further conflicted work.
+        second = _unsat_solver()
+        assert second.solve(budget=budget) == UNKNOWN
+        assert second.last_exhaustion == EXHAUSTED_CONFLICTS
+
+    def test_cancelled_budget_raises(self):
+        solver = _unsat_solver()
+        budget = Budget()
+        budget.cancel()
+        with pytest.raises(Cancelled):
+            solver.solve(budget=budget)
+
+    def test_solver_result_still_sound_after_exhaustion(self):
+        # A governed UNKNOWN must never flip a definitive answer: the
+        # same instance solved fresh without a budget stays UNSAT.
+        budget = Budget(conflicts=1)
+        governed = _unsat_solver()
+        assert governed.solve(budget=budget) in (UNSAT, UNKNOWN)
+        assert _unsat_solver().solve() == UNSAT
+
+
+class TestSolverFaults:
+    def test_timeout_fault_mimics_deadline(self):
+        solver = _unsat_solver()
+        with inject(FaultPlan(at={0: FAULT_TIMEOUT})) as plan:
+            assert solver.solve() == UNKNOWN
+        assert solver.last_exhaustion == EXHAUSTED_DEADLINE
+        assert plan.injected == [(0, FAULT_TIMEOUT)]
+
+    def test_unknown_fault_has_no_reason(self):
+        solver = _unsat_solver()
+        with inject(FaultPlan(at={0: FAULT_UNKNOWN})):
+            assert solver.solve() == UNKNOWN
+        assert solver.last_exhaustion is None
+
+    def test_crash_fault_raises_engine_failure(self):
+        solver = _unsat_solver()
+        with inject(FaultPlan(at={0: FAULT_CRASH})):
+            with pytest.raises(EngineFailure) as err:
+                solver.solve()
+        assert err.value.engine == "sat.solver"
+
+    def test_unfaulted_calls_pass_through(self):
+        solver = _unsat_solver()
+        with inject(FaultPlan(at={5: FAULT_CRASH})) as plan:
+            assert solver.solve() == UNSAT
+        assert plan.calls == 1
+        assert plan.injected == []
+
+
+class TestBudgetTiming:
+    @pytest.mark.timeout_guard(60)
+    def test_short_deadline_actually_stops_search(self):
+        # A deadline budget must bound wall-clock, not just flag late.
+        solver = Solver()
+        lits = [pos(solver.new_var()) for _ in range(40)]
+        # Pairwise-distinct XOR chains generate heavy conflict traffic.
+        for i in range(len(lits) - 2):
+            solver.add_clause([lits[i], lits[i + 1], lits[i + 2]])
+            solver.add_clause([lit_not(lits[i]), lit_not(lits[i + 1]),
+                               lit_not(lits[i + 2])])
+        start = time.perf_counter()
+        solver.solve(budget=Budget(wall_seconds=0.05))
+        # Generous ceiling: the check runs every conflict/256 decisions.
+        assert time.perf_counter() - start < 30.0
