@@ -106,6 +106,7 @@ def compare_strategies(
     sweep_config=None,
     refine_gc_limit: int = 0,
     budget: Optional[Budget] = None,
+    jobs: int = 1,
 ) -> PortfolioResult:
     """Run every strategy; failures (e.g. CSLOW on a non-c-slow
     netlist, an engine crash, an exhausted per-strategy budget) are
@@ -122,7 +123,19 @@ def compare_strategies(
     strategies are skipped outright (with a recorded outcome and a
     ``portfolio.budget_skips`` counter) once the shared pool is dry,
     and cancellation raises :class:`Cancelled` immediately.
+
+    ``jobs > 1`` fans the strategies across a process pool
+    (:mod:`repro.parallel`): outcomes come back in strategy order —
+    the per-target minima, and therefore every table derived from
+    them, are identical at any ``jobs`` value — each worker gets an
+    equal pre-split budget slice, a crashed worker becomes a failed
+    outcome (never an aborted portfolio), and worker telemetry lands
+    under ``parallel/portfolio/<strategy>``.
     """
+    if jobs > 1:
+        return _compare_strategies_parallel(
+            net, strategies, sweep_config, refine_gc_limit, budget,
+            jobs)
     portfolio = PortfolioResult(net=net)
     reg = obs.get_registry()
     with reg.span("portfolio"):
@@ -159,4 +172,40 @@ def compare_strategies(
                 portfolio.outcomes.append(StrategyOutcome(
                     strategy=strategy, error=str(exc),
                     seconds=strategy_span.seconds))
+    return portfolio
+
+
+def _compare_strategies_parallel(
+    net: Netlist,
+    strategies: Sequence[str],
+    sweep_config,
+    refine_gc_limit: int,
+    budget: Optional[Budget],
+    jobs: int,
+) -> PortfolioResult:
+    """The ``jobs > 1`` fan-out of :func:`compare_strategies`."""
+    from ..parallel import ParallelExecutor
+    from ..parallel.workers import run_strategy
+
+    portfolio = PortfolioResult(net=net)
+    reg = obs.get_registry()
+    payloads = [{"net": net, "strategy": strategy,
+                 "sweep_config": sweep_config,
+                 "refine_gc_limit": refine_gc_limit}
+                for strategy in strategies]
+    labels = [strategy or "(none)" for strategy in strategies]
+    with reg.span("portfolio"):
+        executor = ParallelExecutor(jobs=jobs, name="portfolio")
+        outcomes = executor.map(run_strategy, payloads, budget=budget,
+                                labels=labels)
+        for strategy, outcome in zip(strategies, outcomes):
+            if outcome.ok:
+                portfolio.outcomes.append(outcome.value)
+            else:
+                # Worker crash or typed error: the same failed-outcome
+                # shape the sequential loop records.
+                reg.counter("portfolio.failures")
+                portfolio.outcomes.append(StrategyOutcome(
+                    strategy=strategy, error=str(outcome.error),
+                    seconds=outcome.seconds))
     return portfolio

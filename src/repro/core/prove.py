@@ -83,6 +83,33 @@ def _structural_fallback(net: Netlist, target: int,
     return min(best, fallback)
 
 
+def _race_probes(net: Netlist, target: int, quick_bmc_depth: int,
+                 induction_k: int, budget: Optional[Budget],
+                 jobs: int):
+    """Run the quick-BMC and k-induction probes as concurrent workers.
+
+    Returns their :class:`repro.parallel.WorkerOutcome` pair in fixed
+    ``(quick, induction)`` order regardless of completion order; the
+    caller merges them with the sequential priority (falsification
+    beats induction).  A crashed worker surfaces as an outcome whose
+    ``error`` is an :class:`EngineFailure`, which the caller maps to
+    the same degradation path as an in-process engine crash.
+    """
+    from ..parallel import ParallelExecutor
+    from ..parallel.workers import run_bmc_probe, run_induction_probe
+
+    executor = ParallelExecutor(jobs=min(jobs, 2), name="prove")
+    tasks = [
+        (run_bmc_probe,
+         {"net": net, "target": target, "max_depth": quick_bmc_depth}),
+        (run_induction_probe,
+         {"net": net, "target": target, "max_k": induction_k}),
+    ]
+    outcomes = executor.map_tasks(tasks, budget=budget,
+                                  labels=["quick-bmc", "k-induction"])
+    return outcomes[0], outcomes[1]
+
+
 def prove(
     net: Netlist,
     target: Optional[int] = None,
@@ -93,6 +120,7 @@ def prove(
     sweep_config=None,
     refine_gc_limit: int = 6,
     budget: Optional[Budget] = None,
+    jobs: int = 1,
 ) -> ProofResult:
     """Decide ``AG(!target)`` with the full engine stack.
 
@@ -109,6 +137,13 @@ def prove(
     exhaustion or :class:`EngineFailure` degrades to the structural
     bound (see the module docstring) instead of raising.  Only
     :class:`Cancelled` propagates.
+
+    ``jobs > 1`` parallelizes the independent engine calls
+    (:mod:`repro.parallel`): the portfolio strategies fan out across
+    the pool, and the quick-BMC / k-induction probes race as two
+    concurrent workers whose results merge in the sequential priority
+    order (falsification first, then induction), so the verdict —
+    though not the wall-clock — is the sequential one.
     """
     if target is None:
         if not net.targets:
@@ -154,7 +189,8 @@ def prove(
         portfolio = compare_strategies(scoped, strategies=strategies,
                                        sweep_config=sweep_config,
                                        refine_gc_limit=refine_gc_limit,
-                                       budget=portfolio_budget)
+                                       budget=portfolio_budget,
+                                       jobs=jobs)
         bound, strategy = portfolio.best(target)
         log.append(f"portfolio best bound: {bound} via "
                    f"{strategy or '(none)'}")
@@ -189,12 +225,25 @@ def prove(
         stop = gate(bound, strategy, "quick BMC")
         if stop is not None:
             return stop
-        try:
-            with reg.span("quick-bmc"):
-                quick = bmc(net, target, max_depth=quick_bmc_depth,
-                            budget=budget)
-        except EngineFailure as exc:
-            return degraded(bound, strategy, "failure", str(exc))
+        if jobs > 1:
+            # Engine race: the probes are independent, so they run as
+            # concurrent workers; the merge below inspects them in the
+            # sequential priority order (falsification, induction), so
+            # the verdict is deterministic at any jobs value.
+            quick_out, induct_out = _race_probes(
+                net, target, quick_bmc_depth, induction_k, budget,
+                jobs)
+            if quick_out.error is not None:
+                return degraded(bound, strategy, "failure",
+                                str(quick_out.error))
+            quick = quick_out.value
+        else:
+            try:
+                with reg.span("quick-bmc"):
+                    quick = bmc(net, target, max_depth=quick_bmc_depth,
+                                budget=budget)
+            except EngineFailure as exc:
+                return degraded(bound, strategy, "failure", str(exc))
         log.append(f"quick BMC to {quick_bmc_depth}: {quick.status}")
         if quick.status == BMCFALSIFIED:
             reg.counter("prove.falsified.bmc")
@@ -202,15 +251,22 @@ def prove(
                                counterexample=quick.counterexample,
                                log=log, seconds=watch.elapsed)
 
-        stop = gate(bound, strategy, "k-induction")
-        if stop is not None:
-            return stop
-        try:
-            with reg.span("k-induction"):
-                induct = k_induction(net, target, max_k=induction_k,
-                                     budget=budget)
-        except EngineFailure as exc:
-            return degraded(bound, strategy, "failure", str(exc))
+        if jobs > 1:
+            if induct_out.error is not None:
+                return degraded(bound, strategy, "failure",
+                                str(induct_out.error))
+            induct = induct_out.value
+        else:
+            stop = gate(bound, strategy, "k-induction")
+            if stop is not None:
+                return stop
+            try:
+                with reg.span("k-induction"):
+                    induct = k_induction(net, target,
+                                         max_k=induction_k,
+                                         budget=budget)
+            except EngineFailure as exc:
+                return degraded(bound, strategy, "failure", str(exc))
         log.append(f"k-induction to k={induction_k}: {induct.status}")
         if induct.status == BMC_PROVEN:
             reg.counter("prove.proven.k-induction")

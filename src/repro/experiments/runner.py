@@ -178,7 +178,8 @@ def run_table(generate: Callable[..., Netlist],
               sweep_config: Optional[SweepConfig] = None,
               designs: Optional[Sequence[str]] = None,
               max_registers: Optional[int] = None,
-              budget: Optional[Budget] = None) -> List[RowResult]:
+              budget: Optional[Budget] = None,
+              jobs: int = 1) -> List[RowResult]:
     """Evaluate every profile (optionally filtered/scaled).
 
     Every selected profile produces a row: a design whose generation
@@ -186,7 +187,17 @@ def run_table(generate: Callable[..., Netlist],
     the table, and once ``budget`` is exhausted the remaining designs
     are emitted as error rows immediately.  :class:`Cancelled` is the
     only exception that escapes.
+
+    ``jobs > 1`` evaluates the designs across a process pool
+    (:mod:`repro.parallel`): rows come back in profile order — the
+    rendered table is byte-identical at any ``jobs`` value — each
+    design runs on an equal pre-split budget slice, and a crashed
+    worker becomes an error row, never an aborted table.
     """
+    if jobs > 1:
+        return _run_table_parallel(generate, profiles, scale,
+                                   sweep_config, designs,
+                                   max_registers, budget, jobs)
     rows = []
     reg = obs.get_registry()
     wanted = {d.upper() for d in designs} if designs else None
@@ -218,6 +229,59 @@ def run_table(generate: Callable[..., Netlist],
                       error=str(exc))
             rows.append(RowResult(profile.name,
                                   error=str(exc) or type(exc).__name__))
+    return rows
+
+
+def _run_table_parallel(generate: Callable[..., Netlist],
+                        profiles: Sequence[DesignProfile],
+                        scale: float,
+                        sweep_config: Optional[SweepConfig],
+                        designs: Optional[Sequence[str]],
+                        max_registers: Optional[int],
+                        budget: Optional[Budget],
+                        jobs: int) -> List[RowResult]:
+    """The ``jobs > 1`` fan-out of :func:`run_table`."""
+    from ..parallel import ParallelExecutor
+    from ..parallel.workers import run_design
+
+    reg = obs.get_registry()
+    wanted = {d.upper() for d in designs} if designs else None
+    payloads = []
+    for profile in profiles:
+        if wanted is not None and profile.name.upper() not in wanted:
+            continue
+        effective_scale = scale
+        if max_registers and profile.registers * scale > max_registers:
+            effective_scale = max_registers / profile.registers
+        payloads.append({"generate": generate, "name": profile.name,
+                         "scale": effective_scale,
+                         "sweep_config": sweep_config
+                         or EXPERIMENT_SWEEP})
+    if budget is not None:
+        if budget.cancelled:
+            raise Cancelled(budget_name=budget.name)
+        reason = budget.exhausted()
+        if reason is not None:
+            reg.counter("runner.design_errors", len(payloads))
+            return [RowResult(payload["name"],
+                              error=f"budget exhausted ({reason})")
+                    for payload in payloads]
+    executor = ParallelExecutor(jobs=jobs, name="table")
+    outcomes = executor.map(run_design, payloads, budget=budget,
+                            labels=[p["name"] for p in payloads])
+    rows: List[RowResult] = []
+    for payload, outcome in zip(payloads, outcomes):
+        if outcome.ok:
+            rows.append(outcome.value)
+        else:
+            # A crashed worker degrades to the error row the
+            # sequential loop would emit for a failed design.
+            reg.counter("runner.design_errors")
+            reg.event("runner.design_error", design=payload["name"],
+                      error=str(outcome.error))
+            rows.append(RowResult(payload["name"],
+                                  error=str(outcome.error)
+                                  or type(outcome.error).__name__))
     return rows
 
 

@@ -27,17 +27,20 @@ def run(scale: float = 1.0,
         designs: Optional[Sequence[str]] = None,
         max_registers: Optional[int] = None,
         sweep_config: Optional[SweepConfig] = None,
-        budget: Optional[Budget] = None) -> List[RowResult]:
+        budget: Optional[Budget] = None,
+        jobs: int = 1) -> List[RowResult]:
     """Evaluate the Table 2 designs; returns the per-design rows.
 
     ``budget`` bounds the whole table cooperatively; designs that do
     not fit the remaining budget become error rows (the table always
-    completes).
+    completes).  ``jobs > 1`` fans the designs across a process pool;
+    rows come back in design order, so the printed table is identical
+    at any jobs value.
     """
     return run_table(gp.generate, gp.profiles(), scale=scale,
                      designs=designs, max_registers=max_registers,
                      sweep_config=sweep_config or EXPERIMENT_SWEEP,
-                     budget=budget)
+                     budget=budget, jobs=jobs)
 
 
 def run_latched(scale: float = 0.05,
@@ -77,12 +80,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="wall-clock budget in seconds for the "
                              "whole table (0 = unlimited); exhausted "
                              "designs become error rows")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for per-design fan-out "
+                             "(default 1 = sequential)")
     args = parser.parse_args(argv)
     designs = args.designs.split(",") if args.designs else None
     budget = Budget(wall_seconds=args.timeout, name="table2") \
         if args.timeout else None
     rows = run(scale=args.scale, designs=designs,
-               max_registers=args.max_registers or None, budget=budget)
+               max_registers=args.max_registers or None, budget=budget,
+               jobs=args.jobs)
     print(format_table(rows, "Table 2: GP (profile-synthesized, "
                              "phase-abstracted)"))
     print()

@@ -167,6 +167,39 @@ class Registry:
         reg._events.extend(data.get("events", []))
         return reg
 
+    def merge_snapshot(self, data: Dict[str, Any],
+                       prefix: str = "") -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        The aggregation half of the process-pool protocol
+        (:mod:`repro.parallel`): workers run under their own scoped
+        registry, ship the snapshot home, and the parent merges it
+        here.  Timer paths and counter names gain ``prefix/``; timer
+        totals/counts add up and maxima combine; events are appended
+        with a ``source`` field naming the prefix (their ``at``
+        offsets stay relative to the *worker's* epoch — monotonic
+        clocks do not compare across processes).
+        """
+        pre = f"{prefix.rstrip('/')}/" if prefix else ""
+        for path, stat in data.get("timers", {}).items():
+            merged = self._timers.get(pre + path)
+            if merged is None:
+                self._timers[pre + path] = [stat["total_s"],
+                                            stat["count"],
+                                            stat["max_s"]]
+            else:
+                merged[0] += stat["total_s"]
+                merged[1] += stat["count"]
+                if stat["max_s"] > merged[2]:
+                    merged[2] = stat["max_s"]
+        for name, value in data.get("counters", {}).items():
+            self.counter(pre + name, value)
+        for ev in data.get("events", []):
+            record = dict(ev)
+            if prefix:
+                record["source"] = prefix
+            self._events.append(record)
+
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The snapshot serialized as JSON."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=False)

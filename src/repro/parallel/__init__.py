@@ -1,0 +1,33 @@
+"""Parallel strategy/experiment execution (Layer 0.7).
+
+Fans the library's embarrassingly-parallel workloads — portfolio
+strategies, per-design experiment rows, and ``prove()``'s independent
+engine probes — across a ``concurrent.futures.ProcessPoolExecutor``
+while keeping every output **byte-identical** to the sequential run:
+outcomes merge in input order, budgets are pre-split via
+:meth:`~repro.resilience.Budget.slice` and shipped as picklable
+:class:`BudgetSpec` values (wall deadline as an absolute epoch
+instant), typed errors return as values, worker crashes degrade
+through the existing :class:`~repro.resilience.EngineFailure` path,
+and each worker's obs snapshot folds into the parent registry under a
+``parallel/`` prefix.
+
+Entry points: ``--jobs N`` on the ``table1`` / ``table2`` / ``report``
+/ ``bound`` / ``bench`` CLIs, or the ``jobs=`` keyword on
+:func:`repro.core.portfolio.compare_strategies`,
+:func:`repro.experiments.runner.run_table` and
+:func:`repro.core.prove.prove`.  ``jobs=1`` (the default) is exactly
+the pre-existing sequential code path.
+
+Stdlib-only, like every substrate layer below it.
+"""
+
+from .executor import BudgetSpec, ParallelExecutor, WorkerOutcome
+from . import workers
+
+__all__ = [
+    "BudgetSpec",
+    "ParallelExecutor",
+    "WorkerOutcome",
+    "workers",
+]

@@ -1,0 +1,296 @@
+"""The process-pool fan-out engine (Layer 0.7).
+
+Motivation 2 of Section 1 frames the transformation strategies as a
+*portfolio* of independently-sound attempts whose minimum bound wins —
+an embarrassingly parallel workload, as are the per-design rows of the
+Table 1/2 sweeps.  This module provides the one fan-out mechanism all
+of those share: a :class:`ParallelExecutor` that ships
+``(worker function, payload, budget spec, fault schedule)`` tuples to
+a ``concurrent.futures.ProcessPoolExecutor``, collects
+``(result-or-typed-error, obs snapshot)`` tuples back, and merges them
+**deterministically** — outcomes are returned in input order, never
+completion order, so tables and bench artifacts are byte-identical at
+any ``--jobs`` value.
+
+Protocol invariants (see ``docs/architecture.md``, Layer 0.7):
+
+* **Budgets pre-split.**  A worker cannot charge its parent's pools
+  across a process boundary, so the parent carves one
+  :meth:`~repro.resilience.Budget.slice` per task *before* submission
+  and ships it as a :class:`BudgetSpec` — the wall deadline travels as
+  an absolute ``time.time()`` epoch (``time.perf_counter`` values are
+  meaningless in another process), the conflict/query pools as plain
+  integers.  After the join, the parent charges itself with each
+  worker's reported solver effort so hierarchical accounting stays
+  truthful.
+* **Typed errors are values.**  Workers catch the
+  :mod:`repro.resilience` taxonomy (plus the engine-level
+  ``NetlistError``/``ValueError``) and return the exception object —
+  all of them pickle with structured fields intact — so the parent
+  replays exactly the error handling the sequential code path has.  A
+  worker *crash* (the process dying, an unpicklable result, an
+  unexpected exception) maps to :class:`EngineFailure`, the existing
+  degradation path, so PR 2's guarantees (tables always complete,
+  sound structural fallback) hold unchanged.  :class:`Cancelled` is
+  re-raised at the join, as everywhere else.
+* **Observability survives.**  Each worker runs under a scoped
+  :class:`repro.obs.Registry`; the parent folds every snapshot into
+  the active registry under ``parallel/<name>/<label>`` and counts
+  ``parallel.tasks`` / ``parallel.worker_crashes``.
+* **Fault plans re-script per task.**  An active
+  :class:`~repro.resilience.FaultPlan` is shipped as its schedule and
+  re-armed from call index 0 in every worker — the only deterministic
+  reading of call indices once work is distributed.
+
+``jobs=1`` never touches the pool: call sites keep their existing
+sequential loops, and :meth:`ParallelExecutor.map` itself degrades to
+an in-process loop (used by tests and by call sites that want one
+code path).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from .. import obs
+from ..netlist import NetlistError
+from ..resilience import Budget, Cancelled, EngineFailure, \
+    ResourceExhausted
+from ..resilience import faults as _faults
+
+__all__ = ["BudgetSpec", "ParallelExecutor", "WorkerOutcome"]
+
+#: Error types workers return as values (everything else is a crash).
+_TYPED_ERRORS = (ResourceExhausted, EngineFailure, Cancelled,
+                 NetlistError, ValueError)
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """A :class:`~repro.resilience.Budget`'s remains, in picklable form.
+
+    ``deadline_epoch`` is an absolute ``time.time()`` instant (None =
+    unlimited): monotonic ``perf_counter`` readings cannot cross a
+    process boundary, so the deadline travels as wall-clock epoch and
+    is re-anchored to the worker's own monotonic clock by
+    :meth:`restore`.  The conflict/query pools are pre-split integers
+    — the worker gets a private cap, not a shared pool.
+    """
+
+    deadline_epoch: Optional[float] = None
+    conflicts: Optional[int] = None
+    queries: Optional[int] = None
+    name: str = "worker"
+
+    @classmethod
+    def capture(cls, budget: Optional[Budget],
+                name: Optional[str] = None) -> Optional["BudgetSpec"]:
+        """Freeze ``budget``'s current remains (None passes through)."""
+        if budget is None:
+            return None
+        seconds = budget.remaining_seconds()
+        return cls(
+            deadline_epoch=None if seconds is None
+            else time.time() + seconds,
+            conflicts=budget.remaining_conflicts(),
+            queries=budget.remaining_queries(),
+            name=name or budget.name,
+        )
+
+    def restore(self) -> Budget:
+        """Rebuild a live budget in the current process."""
+        seconds = None
+        if self.deadline_epoch is not None:
+            seconds = max(0.0, self.deadline_epoch - time.time())
+        return Budget(seconds, self.conflicts, self.queries,
+                      name=self.name)
+
+
+@dataclass
+class WorkerOutcome:
+    """One task's round-trip: its value or typed error, plus telemetry.
+
+    Exactly one of ``value``/``error`` is set.  ``seconds`` is the
+    worker-side wall time of the task body (monotonic, measured inside
+    the worker); ``snapshot`` the worker's full obs snapshot (already
+    merged into the parent registry by the time callers see it).
+    """
+
+    index: int
+    label: str
+    value: Any = None
+    error: Optional[BaseException] = None
+    seconds: float = 0.0
+    snapshot: Optional[dict] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the task returned a value."""
+        return self.error is None
+
+
+def _run_task(fn: Callable[[Any, Optional[Budget]], Any],
+              payload: Any,
+              spec: Optional[BudgetSpec],
+              fault_config: Optional[dict]) -> tuple:
+    """The worker-side shim (module-level so the pool can pickle it).
+
+    Runs ``fn(payload, budget)`` under a fresh scoped registry and the
+    re-armed fault schedule, returning ``(kind, value, snapshot,
+    seconds)`` where ``kind`` is ``"ok"`` or ``"error"``.
+    """
+    watch = obs.stopwatch()
+    with obs.scoped(obs.Registry("worker")) as reg:
+        budget = spec.restore() if spec is not None else None
+        plan = _faults.FaultPlan(**fault_config) \
+            if fault_config is not None else None
+        try:
+            if plan is not None:
+                with _faults.inject(plan):
+                    value = fn(payload, budget)
+            else:
+                value = fn(payload, budget)
+            return ("ok", value, reg.snapshot(), watch.elapsed)
+        except _TYPED_ERRORS as exc:
+            return ("error", exc, reg.snapshot(), watch.elapsed)
+
+
+class ParallelExecutor:
+    """Deterministic fan-out of independent engine calls.
+
+    ``jobs`` caps the worker-process count; ``jobs <= 1`` runs every
+    task in-process (same shim, no pool, no pickling) so a single code
+    path serves both modes.  ``name`` prefixes the merged obs data:
+    worker telemetry lands under ``parallel/<name>/<label>``.
+    """
+
+    def __init__(self, jobs: int = 1, name: str = "pool") -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def map(self,
+            fn: Callable[[Any, Optional[Budget]], Any],
+            payloads: Sequence[Any],
+            budget: Optional[Budget] = None,
+            labels: Optional[Sequence[str]] = None
+            ) -> List[WorkerOutcome]:
+        """Run ``fn(payload, budget-slice)`` for every payload.
+
+        ``fn`` must be a module-level function (the pool pickles it by
+        reference).  ``budget`` is pre-split equally: each task gets a
+        ``slice(1/n)`` of the remains at submission time.  The result
+        list is ordered by input index regardless of completion order;
+        a cancelled budget raises :class:`Cancelled` at the join,
+        every other failure is an outcome.
+        """
+        return self.map_tasks([(fn, payload) for payload in payloads],
+                              budget=budget, labels=labels)
+
+    def map_tasks(self,
+                  tasks: Sequence[tuple],
+                  budget: Optional[Budget] = None,
+                  labels: Optional[Sequence[str]] = None
+                  ) -> List[WorkerOutcome]:
+        """Like :meth:`map`, but each task is its own ``(fn, payload)``
+        pair — used for heterogeneous races (e.g. ``prove``'s quick-BMC
+        vs k-induction probes)."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        labels = [str(label) for label in labels] if labels \
+            else [str(i) for i in range(len(tasks))]
+        if len(labels) != len(tasks):
+            raise ValueError("labels/tasks length mismatch")
+        specs = self._specs(budget, labels, len(tasks))
+        plan = _faults.active_plan()
+        fault_config = plan.config() if plan is not None else None
+        if self.jobs == 1 or len(tasks) == 1:
+            raw = [_run_task(fn, payload, spec, None)
+                   for (fn, payload), spec in zip(tasks, specs)]
+            outcomes = [self._decode(i, labels[i], raw[i])
+                        for i in range(len(raw))]
+        else:
+            outcomes = self._pooled(tasks, specs, labels, fault_config)
+        self._merge(outcomes, budget)
+        return outcomes
+
+    # ------------------------------------------------------------------
+    def _specs(self, budget: Optional[Budget], labels: Sequence[str],
+               n: int) -> List[Optional[BudgetSpec]]:
+        if budget is None:
+            return [None] * n
+        if budget.cancelled:
+            raise Cancelled(budget_name=budget.name)
+        specs: List[Optional[BudgetSpec]] = []
+        for label in labels:
+            child = budget.slice(1.0 / n,
+                                 name=f"{self.name}[{label}]")
+            specs.append(BudgetSpec.capture(child, name=child.name))
+        return specs
+
+    def _pooled(self, tasks, specs, labels,
+                fault_config) -> List[WorkerOutcome]:
+        workers = min(self.jobs, len(tasks))
+        outcomes: List[Optional[WorkerOutcome]] = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_task, fn, payload, spec, fault_config)
+                for (fn, payload), spec in zip(tasks, specs)
+            ]
+            # Joined in submission order: determinism over latency.
+            for i, future in enumerate(futures):
+                try:
+                    outcomes[i] = self._decode(i, labels[i],
+                                               future.result())
+                except Exception as exc:
+                    # The process died or the round-trip broke: the
+                    # existing EngineFailure degradation path applies.
+                    outcomes[i] = WorkerOutcome(
+                        index=i, label=labels[i],
+                        error=EngineFailure(
+                            "parallel.worker",
+                            "worker crashed: "
+                            f"{str(exc) or type(exc).__name__}"))
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    @staticmethod
+    def _decode(index: int, label: str, raw: tuple) -> WorkerOutcome:
+        kind, value, snapshot, seconds = raw
+        if kind == "ok":
+            return WorkerOutcome(index=index, label=label, value=value,
+                                 seconds=seconds, snapshot=snapshot)
+        return WorkerOutcome(index=index, label=label, error=value,
+                             seconds=seconds, snapshot=snapshot)
+
+    def _merge(self, outcomes: List[WorkerOutcome],
+               budget: Optional[Budget]) -> None:
+        """Fold worker telemetry into the parent registry and charge
+        the parent budget with the reported solver effort; re-raise a
+        worker-side :class:`Cancelled` (cooperative cancellation always
+        propagates)."""
+        reg = obs.get_registry()
+        for outcome in outcomes:
+            reg.counter("parallel.tasks")
+            if outcome.snapshot is not None:
+                reg.merge_snapshot(
+                    outcome.snapshot,
+                    prefix=f"parallel/{self.name}/{outcome.label}")
+                if budget is not None:
+                    counters = outcome.snapshot.get("counters", {})
+                    conflicts = counters.get("sat.conflicts", 0)
+                    queries = counters.get("sat.solve_calls", 0)
+                    if conflicts:
+                        budget.charge_conflicts(conflicts)
+                    if queries:
+                        budget.charge_query(queries)
+            if isinstance(outcome.error, Cancelled):
+                raise outcome.error
+            if isinstance(outcome.error, EngineFailure) and \
+                    outcome.error.engine == "parallel.worker":
+                reg.counter("parallel.worker_crashes")

@@ -21,6 +21,13 @@ finish:
 
 Everything here is stdlib-only and import-cycle-free (nothing imports
 the rest of ``repro``), so even ``repro.sat`` can raise these.
+
+All three errors define ``__reduce__`` so they survive a ``pickle``
+round-trip with their structured fields intact — process-pool workers
+(:mod:`repro.parallel`) return them as *values*, and the default
+``Exception`` reduction would have re-invoked ``__init__`` with the
+decorated message string, silently corrupting ``reason`` /
+``engine`` / ``budget_name``.
 """
 
 from __future__ import annotations
@@ -63,10 +70,15 @@ class ResourceExhausted(ResilienceError):
                  budget_name: Optional[str] = None) -> None:
         self.reason = reason
         self.budget_name = budget_name
+        self._message = message
         detail = message or f"resource budget exhausted ({reason})"
         if budget_name:
             detail = f"{detail} [budget {budget_name!r}]"
         super().__init__(detail)
+
+    def __reduce__(self):
+        return (type(self), (self.reason, self._message,
+                             self.budget_name))
 
 
 class EngineFailure(ResilienceError):
@@ -81,8 +93,14 @@ class EngineFailure(ResilienceError):
                  cause: Optional[BaseException] = None) -> None:
         self.engine = engine
         self.cause = cause
+        self._message = message
         detail = message or "engine failure"
         super().__init__(f"{engine}: {detail}")
+
+    def __reduce__(self):
+        # ``cause`` is dropped: it may reference live solver state the
+        # other side of a process boundary cannot (and must not) hold.
+        return (type(self), (self.engine, self._message, None))
 
 
 class Cancelled(ResilienceError):
@@ -91,6 +109,10 @@ class Cancelled(ResilienceError):
     def __init__(self, message: str = "cancelled",
                  budget_name: Optional[str] = None) -> None:
         self.budget_name = budget_name
+        self._message = message
         if budget_name:
             message = f"{message} [budget {budget_name!r}]"
         super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self._message, self.budget_name))

@@ -92,6 +92,19 @@ class FaultPlan:
         self.calls = 0
         self.injected: List[Tuple[int, str]] = []
 
+    def config(self) -> Dict[str, object]:
+        """The plan's *schedule* as plain picklable data.
+
+        Used by :mod:`repro.parallel` to re-script the active plan
+        inside each pool worker: the schedule crosses the process
+        boundary, the mutable ``calls``/``injected`` state does not —
+        every worker task counts its own solver calls from zero, which
+        is the only deterministic reading of call indices once work is
+        distributed.  ``FaultPlan(**plan.config())`` rebuilds it.
+        """
+        return {"at": dict(self.at), "after": self.after,
+                "action": self.action}
+
     def next_action(self) -> Optional[str]:
         """The fault for the current call index (advances the index)."""
         index = self.calls

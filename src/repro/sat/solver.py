@@ -58,6 +58,12 @@ class Solver:
         self._var_decay = 0.95
         self._cla_inc = 1.0
         self._ok = True
+        #: The satisfying assignment of the last ``solve()`` call,
+        #: indexed by variable — valid ONLY when that call returned
+        #: :data:`SAT`.  Cleared at the start of every ``solve()``, so
+        #: after an UNSAT/UNKNOWN call it is empty rather than the
+        #: previous call's stale assignment; :meth:`value` then raises
+        #: ``IndexError``.
         self.model: List[bool] = []
         # Statistics.  Semantics: *lifetime totals*, monotonically
         # non-decreasing across incremental solve() calls (MiniSat
@@ -181,7 +187,10 @@ class Solver:
         :attr:`last_exhaustion`; a cancelled budget raises
         :class:`~repro.resilience.Cancelled`.  On ``sat``,
         :attr:`model` holds a satisfying assignment indexed by
-        variable.
+        variable; on any other result it is cleared to the empty list
+        (it previously retained the prior SAT call's assignment, so an
+        incremental SAT-then-UNSAT sequence silently exposed a stale
+        model), and :meth:`value` raises ``IndexError``.
 
         Statistic counters accumulate across calls (lifetime totals);
         the per-call deltas land in :attr:`last_call_stats` and are
@@ -191,6 +200,7 @@ class Solver:
         if conflict_budget is not None and conflict_budget < 0:
             raise ValueError("conflict_budget must be None or >= 0, "
                              f"got {conflict_budget}")
+        self.model = []  # never expose a stale assignment (see above)
         before = (self.conflicts, self.decisions, self.propagations,
                   self.restarts)
         reg = obs.get_registry()
@@ -334,7 +344,11 @@ class Solver:
             self._enqueue(lit, None)
 
     def value(self, var: int) -> bool:
-        """Value of ``var`` in the last model."""
+        """Value of ``var`` in the last model.
+
+        Only meaningful after a :data:`SAT` result; any other result
+        clears the model, so this raises ``IndexError``.
+        """
         return self.model[var]
 
     # ------------------------------------------------------------------

@@ -35,7 +35,7 @@ from ..experiments.runner import PIPELINES, evaluate_design
 from ..gen import iscas89
 from ..netlist import s27
 from ..resilience import Budget, FaultPlan, inject
-from ..unroll import bmc
+from ..unroll import bmc, k_induction
 
 #: The fixed experiment slice: small-to-medium profiles at full scale
 #: so the SAT sweep and the LP actually work, while the whole run
@@ -57,12 +57,16 @@ def _git_rev() -> str:
 
 
 def run_workload(reg: obs.Registry,
-                 budget: Optional[Budget] = None) -> Dict[str, Any]:
+                 budget: Optional[Budget] = None,
+                 jobs: int = 1) -> Dict[str, Any]:
     """Execute the fixed workload; returns the per-section summary.
 
     ``budget`` (from ``--timeout``) bounds the experiment-harness
     section only — the fixed engine sections stay unbudgeted so their
-    timings remain comparable across revisions.
+    timings remain comparable across revisions.  ``jobs > 1`` adds a
+    ``parallel`` section: the experiment slice reruns through the
+    process pool and reports per-worker wall time plus the speedup
+    over the sequential section just measured.
     """
     sections: Dict[str, Any] = {}
     net = s27()
@@ -122,6 +126,55 @@ def run_workload(reg: obs.Registry,
     sections["experiments"] = {"seconds": sp.seconds,
                                "per_design": designs}
 
+    # k-induction encoding-size markers: the persistent step unrolling
+    # accumulates O(k²) difference clauses over a run (the rebuilt-
+    # per-round encoding was O(k³)); ``induction.diff_clauses`` /
+    # ``induction.step_vars`` land in the artifact so the reduction is
+    # visible revision over revision.  An 8-bit counter targeting its
+    # max value keeps every step round inconclusive (the simple path
+    # 254 -> 255 always exists), so all ``max_k`` rounds run.
+    from ..netlist import NetlistBuilder
+
+    builder = NetlistBuilder("bench-counter8")
+    regs = builder.registers(8, prefix="c")
+    builder.connect_word(regs, builder.increment(regs))
+    kind_target = builder.buf(
+        builder.word_eq(regs, builder.word_const(255, 8)), name="t")
+    builder.net.add_target(kind_target)
+    with reg.span("bench/k-induction") as sp:
+        kind = k_induction(builder.net, kind_target, max_k=8,
+                           conflict_budget=20000)
+    counters = reg.snapshot()["counters"]
+    sections["k_induction"] = {
+        "seconds": sp.seconds,
+        "status": kind.status,
+        "depth_checked": kind.depth_checked,
+        "diff_clause_pairs": counters.get("induction.diff_clauses", 0),
+        "step_vars": counters.get("induction.step_vars", 0),
+    }
+
+    # The same experiment slice through the process pool: per-worker
+    # wall time plus the speedup over the sequential section above.
+    if jobs > 1:
+        from ..parallel import ParallelExecutor
+        from ..parallel.workers import run_design
+
+        payloads = [{"generate": iscas89.generate, "name": name,
+                     "scale": BENCH_SCALE, "sweep_config": None}
+                    for name in BENCH_DESIGNS]
+        with reg.span("bench/parallel") as sp:
+            outcomes = ParallelExecutor(jobs=jobs, name="bench").map(
+                run_design, payloads, labels=list(BENCH_DESIGNS))
+        sequential = sections["experiments"]["seconds"]
+        sections["parallel"] = {
+            "jobs": jobs,
+            "seconds": sp.seconds,
+            "sequential_seconds": sequential,
+            "speedup": sequential / sp.seconds if sp.seconds else None,
+            "per_worker": {outcome.label: outcome.seconds
+                           for outcome in outcomes},
+        }
+
     # Resource-governance micro-workload: a pre-exhausted budget and an
     # injected timeout fault drive the degradation paths every run, so
     # their counters and outcomes are tracked revision over revision.
@@ -143,12 +196,13 @@ def run_workload(reg: obs.Registry,
     return sections
 
 
-def run_bench(rev: str, timeout: float = 0) -> Dict[str, Any]:
+def run_bench(rev: str, timeout: float = 0,
+              jobs: int = 1) -> Dict[str, Any]:
     """Run the workload in a scoped registry; returns the artifact."""
     budget = Budget(wall_seconds=timeout, name="bench") \
         if timeout else None
     with obs.scoped(obs.Registry(f"bench-{rev}")) as reg:
-        sections = run_workload(reg, budget=budget)
+        sections = run_workload(reg, budget=budget, jobs=jobs)
         snapshot = reg.snapshot()
     solver_keys = ("sat.conflicts", "sat.decisions", "sat.propagations",
                    "sat.restarts", "sat.solve_calls")
@@ -190,9 +244,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "experiment-harness section (0 = "
                              "unlimited); exhausted pipelines show up "
                              "in the resilience stats")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the parallel "
+                             "section (default 1 = skip it)")
     args = parser.parse_args(argv)
     rev = args.rev or _git_rev()
-    artifact = run_bench(rev, timeout=args.timeout)
+    artifact = run_bench(rev, timeout=args.timeout, jobs=args.jobs)
     path = args.out or f"BENCH_{rev}.json"
     with open(path, "w") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=False)

@@ -9,6 +9,11 @@ Loads a ``.bench``/``.aag`` file, applies the transformation strategy,
 bounds each target's diameter, back-translates via Theorems 1-4, and
 prints one line per target (the per-design content of the paper's
 tables).
+
+``--strategy`` accepts ``/``-separated alternatives (e.g.
+``"COM/RET/COM,RET,COM"``): they run as a portfolio — in parallel when
+``--jobs N`` is given — and each target reports the best sound bound
+any alternative produced, with the winning strategy named.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
-from ..core import TBVEngine
+from ..core import TBVEngine, compare_strategies
 from ..diameter import recurrence_diameter
 from ..resilience import Budget, ResourceExhausted
 from .io import load_netlist
@@ -27,6 +32,41 @@ def _recurrence_bounder(net, target):
     if not result.exact:
         return 1 << 62  # effectively "no useful bound"
     return result.bound
+
+
+def _portfolio_main(net, args, budget) -> int:
+    """The ``/``-separated alternatives path: run every strategy (a
+    portfolio, parallel when ``--jobs > 1``) and report each target's
+    best sound bound.  Failed alternatives are reported, not fatal —
+    each bound is independently sound, so the minimum survives any
+    subset of failures.  Uses the structural bounder (the portfolio
+    engine's default)."""
+    strategies = args.strategy.split("/")
+    portfolio = compare_strategies(net, strategies=strategies,
+                                   refine_gc_limit=args.refine_gc,
+                                   budget=budget, jobs=args.jobs)
+    print(f"portfolio: {len(strategies)} alternative(s), "
+          f"jobs={args.jobs}")
+    for outcome in portfolio.outcomes:
+        label = outcome.strategy or "(none)"
+        if not outcome.ok:
+            print(f"  {label:<20} failed: {outcome.error}")
+    for target in net.targets:
+        bound, strategy = portfolio.best(target)
+        label = net.gate(target).name or f"t{target}"
+        if bound is None:
+            print(f"  {label:<20} no bound")
+        elif bound == 0:
+            print(f"  {label:<20} PROVEN unreachable "
+                  f"(via {strategy or '(none)'})")
+        else:
+            star = " *" if bound < args.threshold else ""
+            print(f"  {label:<20} d̂(t) = {bound}{star} "
+                  f"(via {strategy or '(none)'})")
+    useful = portfolio.useful(args.threshold)
+    print(f"|T'|/|T| = {useful}/{len(net.targets)} "
+          f"(threshold {args.threshold})")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -47,6 +87,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="wall-clock budget in seconds (0 = "
                              "unlimited); an exhausted COM degrades "
                              "to fewer merges, bounds stay sound")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for /-separated "
+                             "strategy alternatives (default 1 = "
+                             "sequential)")
     args = parser.parse_args(argv)
 
     net = load_netlist(args.netlist)
@@ -55,11 +99,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     for issue in validate_netlist(net):
         print(f"  lint: {issue.severity}[{issue.code}] {issue.message}")
+    budget = Budget(wall_seconds=args.timeout, name="bound") \
+        if args.timeout else None
+    if "/" in args.strategy:
+        return _portfolio_main(net, args, budget)
     bounder = _recurrence_bounder if args.bounder == "recurrence" else None
     engine = TBVEngine(args.strategy, bounder=bounder,
                        refine_gc_limit=args.refine_gc)
-    budget = Budget(wall_seconds=args.timeout, name="bound") \
-        if args.timeout else None
     try:
         result = engine.run(net, budget=budget)
     except ResourceExhausted as exc:

@@ -50,6 +50,26 @@ def test_committed_seed_artifact_matches_schema():
     _validate_artifact(artifact)
 
 
+def test_committed_pr3_artifact_has_parallel_sections():
+    path = REPO_ROOT / "benchmarks" / "BENCH_pr3.json"
+    assert path.exists(), "benchmarks/BENCH_pr3.json must be committed"
+    artifact = json.loads(path.read_text())
+    assert artifact["rev"] == "pr3"
+    _validate_artifact(artifact)
+    par = artifact["sections"]["parallel"]
+    assert par["jobs"] >= 2
+    assert par["sequential_seconds"] > 0
+    assert par["speedup"] is not None
+    assert set(par["per_worker"]) == \
+        set(artifact["workload"]["designs"])
+    kind = artifact["sections"]["k_induction"]
+    k = kind["depth_checked"]
+    # The persistent step unrolling accumulates exactly k new
+    # difference-clause pairs per round: O(k^2) total.
+    assert kind["diff_clause_pairs"] == k * (k + 1) // 2
+    assert kind["step_vars"] > 0
+
+
 @pytest.mark.bench
 def test_bench_cli_produces_artifact(tmp_path):
     out = tmp_path / "BENCH_test.json"

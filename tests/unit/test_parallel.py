@@ -1,0 +1,292 @@
+"""Unit tests for the process-pool fan-out layer (repro.parallel)."""
+
+import pickle
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import TBVEngine
+from repro.core.portfolio import StrategyOutcome
+from repro.netlist import NetlistError, s27
+from repro.parallel import BudgetSpec, ParallelExecutor, WorkerOutcome
+from repro.resilience import (
+    Budget,
+    Cancelled,
+    EngineFailure,
+    ResourceExhausted,
+)
+from repro.unroll import bmc
+
+
+# ----------------------------------------------------------------------
+# Module-level worker functions (the pool pickles them by reference).
+# ----------------------------------------------------------------------
+def _double(payload, budget):
+    return payload * 2
+
+
+def _record_budget(payload, budget):
+    if budget is None:
+        return None
+    return {
+        "name": budget.name,
+        "conflicts": budget.remaining_conflicts(),
+        "queries": budget.remaining_queries(),
+    }
+
+
+def _typed_error(payload, budget):
+    raise ResourceExhausted("conflicts", budget_name="inner")
+
+
+def _crash(payload, budget):
+    raise RuntimeError("unexpected failure in worker")
+
+
+def _cancelled(payload, budget):
+    raise Cancelled(budget_name="pool")
+
+
+def _instrumented(payload, budget):
+    reg = obs.get_registry()
+    reg.counter("sat.conflicts", 7)
+    reg.counter("sat.solve_calls", 3)
+    with reg.span("work"):
+        pass
+    return payload
+
+
+class TestBudgetSpec:
+    def test_none_budget_passes_through(self):
+        assert BudgetSpec.capture(None) is None
+
+    def test_capture_and_restore_pools(self):
+        spec = BudgetSpec.capture(Budget(conflicts=100, queries=10,
+                                         name="b"))
+        restored = spec.restore()
+        assert restored.remaining_conflicts() == 100
+        assert restored.remaining_queries() == 10
+        assert restored.name == "b"
+        assert restored.remaining_seconds() is None
+
+    def test_deadline_travels_as_epoch(self):
+        spec = BudgetSpec.capture(Budget(wall_seconds=60.0))
+        assert spec.deadline_epoch == pytest.approx(time.time() + 60.0,
+                                                    abs=5.0)
+        restored = spec.restore()
+        assert 0.0 < restored.remaining_seconds() <= 60.0
+
+    def test_expired_deadline_restores_exhausted(self):
+        spec = BudgetSpec(deadline_epoch=time.time() - 10.0)
+        assert spec.restore().exhausted() == "deadline"
+
+    def test_spec_is_picklable(self):
+        spec = BudgetSpec.capture(Budget(conflicts=5, name="x"))
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+
+class TestExecutorInProcess:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=0)
+
+    def test_empty_payloads(self):
+        assert ParallelExecutor(jobs=1).map(_double, []) == []
+
+    def test_results_in_input_order(self):
+        outcomes = ParallelExecutor(jobs=1).map(_double, [1, 2, 3])
+        assert [o.value for o in outcomes] == [2, 4, 6]
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert all(o.ok for o in outcomes)
+
+    def test_budget_pre_split_equally(self):
+        budget = Budget(conflicts=100, queries=10, name="parent")
+        outcomes = ParallelExecutor(jobs=1, name="pool").map(
+            _record_budget, ["a", "b"], budget=budget,
+            labels=["a", "b"])
+        assert outcomes[0].value["conflicts"] == 50
+        assert outcomes[1].value["queries"] == 5
+        assert outcomes[0].value["name"] == "pool[a]"
+
+    def test_cancelled_budget_raises_at_submit(self):
+        budget = Budget(name="parent")
+        budget.cancel()
+        with pytest.raises(Cancelled):
+            ParallelExecutor(jobs=1).map(_double, [1], budget=budget)
+
+    def test_typed_error_becomes_outcome(self):
+        outcomes = ParallelExecutor(jobs=1).map(_typed_error, [None])
+        assert not outcomes[0].ok
+        assert isinstance(outcomes[0].error, ResourceExhausted)
+        assert outcomes[0].error.reason == "conflicts"
+
+    def test_worker_cancelled_reraises_at_join(self):
+        with pytest.raises(Cancelled):
+            ParallelExecutor(jobs=1).map(_cancelled, [None])
+
+    def test_labels_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(jobs=1).map(_double, [1, 2], labels=["a"])
+
+    def test_telemetry_merged_under_prefix(self):
+        with obs.scoped(obs.Registry("parent")) as reg:
+            ParallelExecutor(jobs=1, name="pool").map(
+                _instrumented, ["x"], labels=["t"])
+            snap = reg.snapshot()
+        assert snap["counters"]["parallel/pool/t/sat.conflicts"] == 7
+        assert "parallel/pool/t/work" in snap["timers"]
+        assert snap["counters"]["parallel.tasks"] == 1
+
+    def test_parent_budget_charged_with_worker_effort(self):
+        budget = Budget(conflicts=100, queries=10, name="parent")
+        ParallelExecutor(jobs=1).map(_instrumented, ["x"],
+                                     budget=budget)
+        assert budget.remaining_conflicts() == 100 - 7
+        assert budget.remaining_queries() == 10 - 3
+
+    def test_map_tasks_heterogeneous(self):
+        outcomes = ParallelExecutor(jobs=1).map_tasks(
+            [(_double, 5), (_instrumented, "ok")])
+        assert outcomes[0].value == 10
+        assert outcomes[1].value == "ok"
+
+
+@pytest.mark.parallel
+class TestExecutorPooled:
+    def test_pooled_results_in_input_order(self):
+        outcomes = ParallelExecutor(jobs=2).map(_double, [1, 2, 3, 4])
+        assert [o.value for o in outcomes] == [2, 4, 6, 8]
+        assert [o.label for o in outcomes] == ["0", "1", "2", "3"]
+
+    def test_pooled_matches_in_process(self):
+        seq = ParallelExecutor(jobs=1).map(_double, [3, 4])
+        par = ParallelExecutor(jobs=2).map(_double, [3, 4])
+        assert [o.value for o in seq] == [o.value for o in par]
+
+    def test_pooled_typed_error_round_trips(self):
+        outcomes = ParallelExecutor(jobs=2).map(_typed_error,
+                                                [None, None])
+        for outcome in outcomes:
+            assert isinstance(outcome.error, ResourceExhausted)
+            assert outcome.error.reason == "conflicts"
+            assert outcome.error.budget_name == "inner"
+
+    def test_pooled_crash_maps_to_engine_failure(self):
+        with obs.scoped(obs.Registry("parent")) as reg:
+            outcomes = ParallelExecutor(jobs=2).map(_crash,
+                                                    [None, None])
+            snap = reg.snapshot()
+        for outcome in outcomes:
+            assert not outcome.ok
+            assert isinstance(outcome.error, EngineFailure)
+            assert outcome.error.engine == "parallel.worker"
+        assert snap["counters"]["parallel.worker_crashes"] == 2
+
+    def test_pooled_telemetry_merged(self):
+        with obs.scoped(obs.Registry("parent")) as reg:
+            ParallelExecutor(jobs=2, name="pool").map(
+                _instrumented, ["a", "b"], labels=["a", "b"])
+            snap = reg.snapshot()
+        assert snap["counters"]["parallel/pool/a/sat.conflicts"] == 7
+        assert snap["counters"]["parallel/pool/b/sat.solve_calls"] == 3
+
+
+class TestTypedErrorPickles:
+    """The resilience taxonomy must pickle with structured fields
+    intact — the default Exception reduction would re-run __init__ on
+    the decorated message and corrupt them."""
+
+    def test_resource_exhausted(self):
+        err = ResourceExhausted("deadline", budget_name="outer")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.reason == "deadline"
+        assert clone.budget_name == "outer"
+        assert str(clone) == str(err)
+
+    def test_engine_failure(self):
+        err = EngineFailure("com", "merge table overflow")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.engine == "com"
+        assert str(clone) == str(err)
+
+    def test_engine_failure_drops_cause(self):
+        err = EngineFailure("ret", "bad", cause=RuntimeError("x"))
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.cause is None
+        assert clone.engine == "ret"
+
+    def test_cancelled(self):
+        err = Cancelled(budget_name="table")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.budget_name == "table"
+        assert str(clone) == str(err)
+
+
+class TestDataPickles:
+    """The payload/result dataclasses the pool ships must round-trip."""
+
+    def test_netlist(self):
+        net = s27()
+        clone = pickle.loads(pickle.dumps(net))
+        assert clone.stats() == net.stats()
+        assert clone.targets == net.targets
+        assert clone.name == net.name
+
+    def test_engine_result(self):
+        result = TBVEngine("COM").run(s27())
+        clone = pickle.loads(pickle.dumps(result))
+        assert [r.bound for r in clone.reports] == \
+            [r.bound for r in result.reports]
+        assert len(clone.chain.steps) == len(result.chain.steps)
+        assert clone.netlist.stats() == result.netlist.stats()
+
+    def test_bmc_result(self):
+        check = bmc(s27(), max_depth=4)
+        clone = pickle.loads(pickle.dumps(check))
+        assert clone.status == check.status
+        assert clone.depth_checked == check.depth_checked
+        if check.counterexample is not None:
+            assert clone.counterexample.inputs == \
+                check.counterexample.inputs
+
+    def test_strategy_outcome(self):
+        outcome = StrategyOutcome(strategy="COM", error="boom",
+                                  seconds=1.5)
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.strategy == "COM"
+        assert clone.error == "boom"
+        assert clone.seconds == 1.5
+
+
+class TestMergeSnapshot:
+    def test_timers_counters_events_fold_in(self):
+        worker = obs.Registry("worker")
+        with worker.span("engine"):
+            pass
+        worker.counter("sat.conflicts", 5)
+        worker.event("probe", detail="x")
+        parent = obs.Registry("parent")
+        parent.counter("parallel/w/sat.conflicts", 2)
+        parent.merge_snapshot(worker.snapshot(), prefix="parallel/w")
+        snap = parent.snapshot()
+        assert snap["counters"]["parallel/w/sat.conflicts"] == 7
+        assert "parallel/w/engine" in snap["timers"]
+        assert snap["events"][0]["source"] == "parallel/w"
+
+    def test_merge_accumulates_timer_stats(self):
+        worker = obs.Registry("worker")
+        with worker.span("engine"):
+            pass
+        parent = obs.Registry("parent")
+        parent.merge_snapshot(worker.snapshot(), prefix="p")
+        parent.merge_snapshot(worker.snapshot(), prefix="p")
+        assert parent.snapshot()["timers"]["p/engine"]["count"] == 2
+
+    def test_no_prefix(self):
+        worker = obs.Registry("worker")
+        worker.counter("c", 3)
+        parent = obs.Registry("parent")
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.counter_value("c") == 3

@@ -174,6 +174,52 @@ class TestAssumptions:
         assert s.model[v] is True
 
 
+class TestModelStaleness:
+    """``model`` is valid only after SAT: every ``solve()`` clears it
+    first, so a non-SAT answer can never leak the previous call's
+    assignment."""
+
+    def test_unsat_after_sat_clears_model(self):
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v)])
+        assert s.solve() == SAT
+        assert s.model[v] is True
+        s.add_clause([neg(v)])
+        assert s.solve() == UNSAT
+        assert s.model == []
+
+    def test_unsat_assumptions_after_sat_clear_model(self):
+        s = Solver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([neg(a), pos(b)])
+        assert s.solve() == SAT
+        assert len(s.model) == s.num_vars
+        assert s.solve([pos(a), neg(b)]) == UNSAT
+        assert s.model == []
+        with pytest.raises(IndexError):
+            s.value(a)
+
+    def test_unknown_clears_model(self):
+        # Solve something satisfiable, then starve a hard PHP query:
+        # the UNKNOWN answer must not leave the old model behind.
+        s = Solver()
+        v = s.new_var()
+        s.add_clause([pos(v)])
+        assert s.solve() == SAT
+        holes, pigeons = 4, 5
+        var = {(p, h): s.new_var() for p in range(pigeons)
+               for h in range(holes)}
+        for p in range(pigeons):
+            s.add_clause([pos(var[p, h]) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([neg(var[p1, h]), neg(var[p2, h])])
+        assert s.solve(conflict_budget=1) == UNKNOWN
+        assert s.model == []
+
+
 class TestSolverStress:
     def test_pigeonhole_4_into_3_unsat(self):
         # PHP(4,3): 4 pigeons, 3 holes; classic UNSAT instance that

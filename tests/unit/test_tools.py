@@ -107,6 +107,22 @@ class TestCLIs:
         out = capsys.readouterr().out
         assert "d̂(t)" in out
 
+    def test_bound_cli_strategy_alternatives(self, capsys, s27_bench):
+        assert bound_main([s27_bench, "--strategy",
+                           "COM/RET/COM,RET,COM"]) == 0
+        out = capsys.readouterr().out
+        assert "portfolio: 3 alternative(s)" in out
+        assert "via" in out
+        assert "|T'|/|T| = 1/1" in out
+
+    @pytest.mark.parallel
+    def test_bound_cli_alternatives_jobs2(self, capsys, s27_bench):
+        assert bound_main([s27_bench, "--strategy", "COM/RET",
+                           "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs=2" in out
+        assert "|T'|/|T| = 1/1" in out
+
     def test_check_cli_bmc_finds_hit(self, capsys, s27_bench, tmp_path):
         vcd_path = tmp_path / "cex.vcd"
         rc = check_main([s27_bench, "--vcd", str(vcd_path)])

@@ -1,5 +1,6 @@
 """Unit tests for unrolling, BMC and k-induction."""
 
+from repro import obs
 from repro.netlist import GateType, Netlist, NetlistBuilder, s27
 from repro.unroll import (
     ABORTED,
@@ -158,6 +159,40 @@ class TestKInduction:
         result = k_induction(net, t, max_k=2)
         assert result.status == BOUNDED
 
+    def test_incremental_step_verdict_parity(self):
+        # The persistent step unrolling (assumptions instead of unit
+        # clauses, only the new frame's difference pairs per round)
+        # must reproduce the one-shot verdicts across every outcome.
+        cases = [
+            (unreachable_target(), 4, PROVEN),
+            (counter_target(2, 3), 6, FALSIFIED),
+            (counter_target(3, 7), 2, BOUNDED),
+            (counter_target(3, 7), 8, FALSIFIED),
+        ]
+        for (net, t), max_k, expected in cases:
+            result = k_induction(net, t, max_k=max_k)
+            assert result.status == expected, (net.name, max_k)
+
+    def test_step_encoding_accumulates_quadratically(self):
+        # Round k adds exactly k new difference-clause pairs, so a run
+        # to max_k accumulates max_k*(max_k+1)/2 in total — the bench
+        # marker for the O(k^3) -> O(k^2) re-encoding fix.  A stuck
+        # register never reaches the target, so every step round runs.
+        b = NetlistBuilder("idle")
+        regs = b.registers(3, prefix="r")
+        for r in regs:
+            b.connect(r, r)
+        t = b.buf(b.and_(b.and_(regs[0], regs[1]), regs[2]), name="t")
+        b.net.add_target(t)
+        with obs.scoped(obs.Registry("t")) as reg:
+            result = k_induction(b.net, t, max_k=5)
+            snap = reg.snapshot()
+        assert result.status == PROVEN
+        k = result.depth_checked
+        assert snap["counters"]["induction.diff_clauses"] == \
+            k * (k + 1) // 2
+        assert snap["counters"]["induction.step_vars"] > 0
+
 
 def contradiction_target():
     """Target = AND(x, NOT x), built raw so nothing simplifies it.
@@ -244,6 +279,35 @@ class TestBMCDepthCheckedInvariant:
                             complete_bounds={t: 4})
         assert results[t].status == PROVEN
         assert results[t].depth_checked == 4
+
+    def test_multi_mixed_complete_bounds_under_query_budget(self):
+        # Two unreachable targets, windows 2 and 10, and exactly the
+        # query pool for frames 0-1 (two targets x two frames).  At
+        # frame 2 the first target's window closes (PROVEN, no query
+        # spent) while the second hits the dry pool: ABORTED at the
+        # same frame with the structured reason.  This pins the
+        # BMCResult contract: PROVEN depth_checked is the closed
+        # window, ABORTED depth_checked is the first unverified frame.
+        from repro.resilience import Budget
+
+        b = NetlistBuilder("mixed")
+        r0 = b.register(name="r0")
+        r1 = b.register(name="r1")
+        b.connect(r0, r0)
+        b.connect(r1, r1)
+        a = b.buf(r0, name="a")
+        c = b.buf(r1, name="c")
+        b.net.add_target(a)
+        b.net.add_target(c)
+        results = bmc_multi(b.net, [a, c], max_depth=8,
+                            complete_bounds={a: 2, c: 10},
+                            budget=Budget(queries=4, name="mixed"))
+        assert results[a].status == PROVEN
+        assert results[a].depth_checked == 2
+        assert results[a].exhaustion_reason is None
+        assert results[c].status == ABORTED
+        assert results[c].depth_checked == 2
+        assert results[c].exhaustion_reason == "queries"
 
     def test_multi_falsified_and_bounded_mix(self):
         b = NetlistBuilder("mix")
