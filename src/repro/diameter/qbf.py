@@ -28,6 +28,7 @@ from ..resilience import Budget, Cancelled
 from ..sat import CnfSink, encode_frame, encode_mux, encode_xor2, \
     lit_not, pos
 from ..sat.qbf import QBFResult, solve_forall_exists
+from ..sat.template import get_template, templates_enabled
 
 
 def _unroll_over_lits(net: Netlist, sink: CnfSink,
@@ -38,14 +39,34 @@ def _unroll_over_lits(net: Netlist, sink: CnfSink,
     The block supplies, in order, the init-cone input literals followed
     by one group of input literals per frame; returns the state-literal
     maps for boundaries ``0 .. frames``.
+
+    When templates are enabled, the init cone is stamped from the
+    ``"init"`` template and each frame from the ``"io"`` template
+    (inputs are slots here, unlike :class:`~repro.unroll.Unrolling`):
+    the CEGAR abstraction re-invokes this encode on every refinement
+    iteration, so one compilation amortizes over the whole loop.
     """
     inputs = net.inputs
     width = len(inputs)
     init_lits = dict(zip(inputs, block[:width]))
+    reg = obs.get_registry()
+    use_tmpl = templates_enabled()
     # Initial state from the init cones over the init-input literals.
+    # (Templates are fetched outside the ``encode`` spans so the
+    # one-off ``encode.compile`` time is not counted twice in the
+    # bench tool's encode/solve split.)
     init_edges = [net.gate(r).fanins[1] for r in net.registers]
-    cone = encode_frame(net, sink, dict(init_lits), roots=init_edges) \
-        if init_edges else {}
+    init_tmpl = get_template(net, "init") \
+        if use_tmpl and init_edges else None
+    io_tmpl = get_template(net, "io") if use_tmpl else None
+    with reg.span("encode"):
+        if not init_edges:
+            cone: Dict[int, int] = {}
+        elif init_tmpl is not None:
+            cone, _ = init_tmpl.stamp(sink, init_lits)
+        else:
+            cone = encode_frame(net, sink, dict(init_lits),
+                                roots=init_edges)
     state: Dict[int, int] = {}
     for vid in net.state_elements:
         gate = net.gate(vid)
@@ -58,17 +79,23 @@ def _unroll_over_lits(net: Netlist, sink: CnfSink,
         offset = width * (frame + 1)
         leaves = dict(state)
         leaves.update(zip(inputs, block[offset:offset + width]))
-        lits = encode_frame(net, sink, leaves)
-        nxt: Dict[int, int] = {}
-        for vid in net.state_elements:
-            gate = net.gate(vid)
-            if gate.type is GateType.REGISTER:
-                nxt[vid] = lits[gate.fanins[0]]
+        with reg.span("encode"):
+            if io_tmpl is not None:
+                lits, nxt = io_tmpl.stamp(sink, leaves)
+                assert nxt is not None
             else:
-                data, clock = gate.fanins
-                out = pos(sink.new_var())
-                encode_mux(sink, out, lits[clock], lits[data], lits[vid])
-                nxt[vid] = out
+                lits = encode_frame(net, sink, leaves)
+                nxt = {}
+                for vid in net.state_elements:
+                    gate = net.gate(vid)
+                    if gate.type is GateType.REGISTER:
+                        nxt[vid] = lits[gate.fanins[0]]
+                    else:
+                        data, clock = gate.fanins
+                        out = pos(sink.new_var())
+                        encode_mux(sink, out, lits[clock], lits[data],
+                                   lits[vid])
+                        nxt[vid] = out
         state = nxt
         states.append(state)
     return states

@@ -9,6 +9,7 @@ the experiments of Section 4 use every primary output as a target).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .types import Gate, GateType, NetlistError
@@ -26,6 +27,9 @@ class Netlist:
         self.outputs: List[int] = []
         # The single shared constant-0 vertex, created lazily.
         self._const0: Optional[int] = None
+        # Memoized structural signature; None until computed, reset by
+        # every gate mutation (add / set_fanins / replace_gate).
+        self._sig: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -41,6 +45,7 @@ class Netlist:
         vid = self._next_id
         self._next_id += 1
         self._gates[vid] = gate
+        self._sig = None
         if gate.name is not None:
             if gate.name in self._names:
                 raise NetlistError(f"duplicate gate name {gate.name!r}")
@@ -68,6 +73,7 @@ class Netlist:
             if f not in self._gates:
                 raise NetlistError(f"fanin {f} does not exist")
         self._gates[vid] = self._gates[vid].with_fanins(fanins)
+        self._sig = None
 
     def replace_gate(self, vid: int, gate: Gate) -> None:
         """Replace the gate at ``vid`` wholesale (type change allowed)."""
@@ -78,6 +84,7 @@ class Netlist:
         if old.name is not None:
             del self._names[old.name]
         self._gates[vid] = gate
+        self._sig = None
         if gate.name is not None:
             if gate.name in self._names and self._names[gate.name] != vid:
                 raise NetlistError(f"duplicate gate name {gate.name!r}")
@@ -155,6 +162,27 @@ class Netlist:
                 fanouts[f].append(vid)
         return fanouts
 
+    def signature(self) -> str:
+        """Hex digest of the gate structure, memoized.
+
+        Covers exactly what a compiled frame template
+        (:mod:`repro.sat.template`) depends on: vertex ids, gate types
+        and fanin tuples, in insertion order.  Targets, outputs and
+        names are deliberately *excluded* — frame encoding never reads
+        them, and transformations reassign them freely (``strash``
+        rebuilds target lists in place), so including them would only
+        defeat cache sharing.  The digest is computed once and
+        invalidated by every gate mutation; :meth:`copy` shares it.
+        """
+        if self._sig is None:
+            h = hashlib.sha256()
+            update = h.update
+            for vid, gate in self._gates.items():
+                update(f"{vid}:{gate.type.value}:"
+                       f"{','.join(map(str, gate.fanins))};".encode())
+            self._sig = h.hexdigest()
+        return self._sig
+
     def stats(self) -> Dict[str, int]:
         """Summary counts used by reports and examples."""
         counts: Dict[str, int] = {}
@@ -176,6 +204,7 @@ class Netlist:
         other.targets = list(self.targets)
         other.outputs = list(self.outputs)
         other._const0 = self._const0
+        other._sig = self._sig  # same gate structure, same signature
         return other
 
     def __repr__(self) -> str:

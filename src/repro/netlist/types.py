@@ -10,8 +10,15 @@ functions.
 from __future__ import annotations
 
 import enum
+import sys
 from dataclasses import dataclass
 from typing import Optional, Tuple
+
+# Gates are by far the highest-population objects in the process (one
+# per vertex per netlist, duplicated across transform pipelines), so
+# they carry __slots__ where the dataclass machinery supports it
+# (slots=True needs 3.10; on 3.9 they quietly stay dict-backed).
+_DATACLASS_KW = {"slots": True} if sys.version_info >= (3, 10) else {}
 
 
 class NetlistError(Exception):
@@ -75,7 +82,7 @@ COMBINATIONAL_TYPES = frozenset(
 SOURCE_TYPES = frozenset({GateType.CONST0, GateType.INPUT})
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, **_DATACLASS_KW)
 class Gate:
     """A single netlist vertex: its type, ordered fanins, optional name.
 

@@ -12,6 +12,16 @@ from .cnf import (
 )
 from .solver import SAT, UNKNOWN, UNSAT, Solver
 from .qbf import QBFResult, solve_exists_forall, solve_forall_exists
+from .template import (
+    FrameTemplate,
+    clear_template_cache,
+    compile_template,
+    get_template,
+    netlist_has_const0,
+    set_templates_enabled,
+    templates_enabled,
+    use_templates,
+)
 from .tseitin import (
     CnfSink,
     encode_and,
@@ -26,11 +36,19 @@ from .tseitin import (
 __all__ = [
     "CNF",
     "CnfSink",
+    "FrameTemplate",
     "QBFResult",
     "SAT",
     "Solver",
     "UNKNOWN",
     "UNSAT",
+    "clear_template_cache",
+    "compile_template",
+    "get_template",
+    "netlist_has_const0",
+    "set_templates_enabled",
+    "templates_enabled",
+    "use_templates",
     "encode_and",
     "encode_equiv",
     "encode_frame",

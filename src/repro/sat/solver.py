@@ -108,6 +108,28 @@ class Solver:
         heapq.heappush(self._heap, (0.0, var))
         return var
 
+    def new_vars(self, n: int) -> int:
+        """Allocate ``n`` fresh variables at once; returns the first.
+
+        State-identical to ``n`` :meth:`new_var` calls (same side
+        tables, same heap entries in the same order) — the template
+        stamping fast path uses it to skip per-variable call overhead.
+        """
+        base = self.num_vars
+        if n <= 0:
+            return base
+        self.num_vars = base + n
+        self._watches.extend([] for _ in range(2 * n))
+        self._assign.extend([None] * n)
+        self._level.extend([0] * n)
+        self._reason.extend([None] * n)
+        self._polarity.extend([False] * n)
+        self._activity.extend([0.0] * n)
+        heap = self._heap
+        for var in range(base, base + n):
+            heapq.heappush(heap, (0.0, var))
+        return base
+
     def _ensure_var(self, var: int) -> None:
         while self.num_vars <= var:
             self.new_var()
@@ -147,6 +169,74 @@ class Solver:
         c = _Clause(clause, learnt=False)
         self._clauses.append(c)
         self._attach(c)
+        return True
+
+    def add_clauses_bulk(self, clauses: Iterable[List[int]]) -> bool:
+        """Bulk-load pre-validated clauses, skipping normalisation.
+
+        The fast path behind template stamping
+        (:mod:`repro.sat.template`).  Caller contract, per clause:
+
+        * at least two literals, over already-allocated variables;
+        * pairwise-distinct variables (no duplicate literals, no
+          tautologies);
+        * the solver takes ownership of each literal list (watched-
+          literal reordering mutates it in place — never reuse one).
+
+        A clause whose variables are all unassigned at decision level
+        0 is constructed and watch-attached directly; a clause touching
+        a level-0-assigned variable gets the satisfied-clause/
+        falsified-literal normalisation of :meth:`add_clause` applied
+        inline (the distinct-variables contract rules out the
+        duplicate/tautology cases, and the rare empty/unit outcomes
+        are delegated back to :meth:`add_clause`) — this keeps the
+        resulting clause database identical to adding every clause
+        individually.  Returns False if the formula became trivially
+        UNSAT.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        assign = self._assign
+        watches = self._watches
+        out = self._clauses
+        append = out.append
+        slow = self.add_clause
+        for lits in clauses:
+            for lit in lits:
+                if assign[lit >> 1] is not None:
+                    break
+            else:
+                clause = _Clause(lits, False)
+                append(clause)
+                watches[lits[0] ^ 1].append(clause)
+                watches[lits[1] ^ 1].append(clause)
+                continue
+            # Level-0 normalisation, inline.  ``v != (lit & 1)`` is
+            # "literal true" (bool compares equal to int): keep
+            # unassigned literals, drop falsified ones, skip the
+            # clause on a satisfied one — exactly add_clause's rules
+            # minus the duplicate/tautology checks the caller contract
+            # makes unreachable.
+            keep = []
+            kappend = keep.append
+            sat = False
+            for lit in lits:
+                v = assign[lit >> 1]
+                if v is None:
+                    kappend(lit)
+                elif v != (lit & 1):
+                    sat = True
+                    break
+            if sat:
+                continue
+            if len(keep) >= 2:
+                clause = _Clause(keep, False)
+                append(clause)
+                watches[keep[0] ^ 1].append(clause)
+                watches[keep[1] ^ 1].append(clause)
+            elif not slow(keep):  # empty or unit: rare, delegate
+                return False
         return True
 
     def add_cnf(self, cnf: CNF) -> bool:

@@ -22,18 +22,120 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..netlist import Netlist, GateType, topological_order
 
 
-class BitParallelSimulator:
-    """Simulates a netlist over ``width`` parallel runs per step."""
+#: Op-list entry kinds (compiled evaluation plan).
+_OP_STATE = 0
+_OP_INPUT = 1
+_OP_GATE = 2
 
-    def __init__(self, net: Netlist, width: int = 1) -> None:
+
+class BitParallelSimulator:
+    """Simulates a netlist over ``width`` parallel runs per step.
+
+    By default the netlist is *compiled* at construction into a flat
+    topological op list — one specialized closure per combinational
+    gate — so the per-cycle inner loop does no gate-table lookups and
+    no type dispatch.  ``compiled=False`` keeps the original
+    interpreted evaluator (the two are pinned equivalent by the
+    randomized cross-check in ``tests/unit/test_sim.py``).
+    """
+
+    def __init__(self, net: Netlist, width: int = 1,
+                 compiled: bool = True) -> None:
         self.net = net
         self.width = width
         self.mask = (1 << width) - 1
+        self.compiled = bool(compiled)
         self._order = topological_order(net)
         self._init_order = topological_order(
             net, [net.gate(r).fanins[1] for r in net.state_elements
                   if net.gate(r).type is GateType.REGISTER]
         )
+        #: next-state plan: (vid, data/next fanin, clock or None)
+        self._state_plan = []
+        for vid in net.state_elements:
+            gate = net.gate(vid)
+            if gate.type is GateType.REGISTER:
+                self._state_plan.append((vid, gate.fanins[0], None))
+            else:
+                data, clock = gate.fanins
+                self._state_plan.append((vid, data, clock))
+        self._ops = self._compile_plan(self._order) \
+            if self.compiled else None
+        self._init_ops = self._compile_plan(self._init_order) \
+            if self.compiled else None
+
+    # ------------------------------------------------------------------
+    def _compile_plan(self, order):
+        """Flatten a topological order into ``(vid, kind, fn)`` ops."""
+        ops = []
+        for vid in order:
+            gate = self.net.gate(vid)
+            if gate.is_state:
+                ops.append((vid, _OP_STATE, None))
+            elif gate.type is GateType.INPUT:
+                ops.append((vid, _OP_INPUT, None))
+            else:
+                ops.append((vid, _OP_GATE, self._compile_gate(gate)))
+        return ops
+
+    def _compile_gate(self, gate):
+        """One specialized closure computing the gate from ``values``."""
+        f = gate.fanins
+        t = gate.type
+        mask = self.mask
+        if t is GateType.CONST0:
+            return lambda values: 0
+        if t is GateType.BUF:
+            (a,) = f
+            return lambda values: values[a]
+        if t is GateType.NOT:
+            (a,) = f
+            return lambda values: ~values[a] & mask
+        if t is GateType.MUX:
+            s, a, b = f
+            return lambda values: ((values[s] & values[a])
+                                   | (~values[s] & values[b] & mask))
+        if t in (GateType.AND, GateType.NAND) and len(f) == 2:
+            a, b = f
+            if t is GateType.AND:
+                return lambda values: values[a] & values[b]
+            return lambda values: ~(values[a] & values[b]) & mask
+        if t in (GateType.OR, GateType.NOR) and len(f) == 2:
+            a, b = f
+            if t is GateType.OR:
+                return lambda values: values[a] | values[b]
+            return lambda values: ~(values[a] | values[b]) & mask
+        if t in (GateType.XOR, GateType.XNOR) and len(f) == 2:
+            a, b = f
+            if t is GateType.XOR:
+                return lambda values: values[a] ^ values[b]
+            return lambda values: ~(values[a] ^ values[b]) & mask
+        # Wide gates: generic reduction closures.
+        if t in (GateType.AND, GateType.NAND):
+            def reduce_and(values, f=f, mask=mask,
+                           invert=t is GateType.NAND):
+                out = mask
+                for x in f:
+                    out &= values[x]
+                return ~out & mask if invert else out
+            return reduce_and
+        if t in (GateType.OR, GateType.NOR):
+            def reduce_or(values, f=f, mask=mask,
+                          invert=t is GateType.NOR):
+                out = 0
+                for x in f:
+                    out |= values[x]
+                return ~out & mask if invert else out
+            return reduce_or
+        if t in (GateType.XOR, GateType.XNOR):
+            def reduce_xor(values, f=f, mask=mask,
+                           invert=t is GateType.XNOR):
+                out = 0
+                for x in f:
+                    out ^= values[x]
+                return ~out & mask if invert else out
+            return reduce_xor
+        raise ValueError(f"cannot evaluate gate type {t}")
 
     # ------------------------------------------------------------------
     def initial_state(
@@ -47,17 +149,27 @@ class BitParallelSimulator:
         """
         values: Dict[int, int] = {}
         init_inputs = init_inputs or {}
-        for vid in self._init_order:
-            gate = self.net.gate(vid)
-            if gate.type is GateType.INPUT:
-                values[vid] = init_inputs.get(vid, 0) & self.mask
-            elif gate.is_state:
-                # A state element inside an init cone contributes its
-                # own initial value; resolved conservatively to 0 for
-                # latches and recursively for registers.
-                values[vid] = 0
-            else:
-                values[vid] = self._eval(gate, values)
+        if self._init_ops is not None:
+            mask = self.mask
+            for vid, kind, fn in self._init_ops:
+                if kind == _OP_GATE:
+                    values[vid] = fn(values)
+                elif kind == _OP_INPUT:
+                    values[vid] = init_inputs.get(vid, 0) & mask
+                else:
+                    # A state element inside an init cone contributes
+                    # its own initial value; resolved conservatively to
+                    # 0 for latches and recursively for registers.
+                    values[vid] = 0
+        else:
+            for vid in self._init_order:
+                gate = self.net.gate(vid)
+                if gate.type is GateType.INPUT:
+                    values[vid] = init_inputs.get(vid, 0) & self.mask
+                elif gate.is_state:
+                    values[vid] = 0
+                else:
+                    values[vid] = self._eval(gate, values)
         state: Dict[int, int] = {}
         for vid in self.net.state_elements:
             gate = self.net.gate(vid)
@@ -72,6 +184,16 @@ class BitParallelSimulator:
     ) -> Dict[int, int]:
         """Evaluate every vertex for one cycle given state and inputs."""
         values: Dict[int, int] = {}
+        if self._ops is not None:
+            mask = self.mask
+            for vid, kind, fn in self._ops:
+                if kind == _OP_GATE:
+                    values[vid] = fn(values)
+                elif kind == _OP_STATE:
+                    values[vid] = state.get(vid, 0) & mask
+                else:
+                    values[vid] = inputs.get(vid, 0) & mask
+            return values
         for vid in self._order:
             gate = self.net.gate(vid)
             if gate.is_state:
@@ -87,12 +209,10 @@ class BitParallelSimulator:
     ) -> Dict[int, int]:
         """Compute the successor state from current-cycle ``values``."""
         nxt: Dict[int, int] = {}
-        for vid in self.net.state_elements:
-            gate = self.net.gate(vid)
-            if gate.type is GateType.REGISTER:
-                nxt[vid] = values[gate.fanins[0]]
+        for vid, data, clock in self._state_plan:
+            if clock is None:  # register
+                nxt[vid] = values[data]
             else:  # latch: hold unless clock was high
-                data, clock = gate.fanins
                 c = values[clock]
                 nxt[vid] = (values[data] & c) | (state.get(vid, 0) & ~c
                                                  & self.mask)

@@ -3,24 +3,32 @@
 Usage::
 
     python -m repro.tools.bench [--rev <label>] [--out <path>]
+                                [--profile full|smoke]
 
 Runs a deterministic micro-workload through every engine layer under
 an isolated :mod:`repro.obs` registry and writes ``BENCH_<rev>.json``:
 per-engine wall-time, SAT-solver effort (conflicts / decisions /
-propagations / restarts), and the per-design, per-pipeline experiment
-timings of the Table 1 harness.  ``<rev>`` defaults to the current git
-short hash (``dev`` outside a checkout).
+propagations / restarts), the per-design, per-pipeline experiment
+timings of the Table 1 harness, and (schema v2) an ``encode`` section
+timing frame *encoding* on the largest profile three ways — direct
+``encode_frame``, template cold (includes the one-off compile), and
+template warm — whose ``encode_speedup`` figure is the headline number
+of the compiled-frame-template work, plus a ``time_split`` giving the
+total encode-vs-solve seconds across the whole run.  ``<rev>``
+defaults to the current git short hash (``dev`` outside a checkout).
 
 Every optimisation PR reruns this and commits the new artifact next to
 ``benchmarks/BENCH_seed.json``; comparing the ``timers`` sections of
-two revisions is how a perf claim is proven.  Runs in well under a
-minute — the workload is intentionally small and fixed, chosen to
-touch every hot path rather than to stress any one of them.
+two revisions is how a perf claim is proven.  The default ``full``
+profile runs in well under a minute; the ``smoke`` profile shrinks
+every section to seconds and is exercised by the tier-1 suite to keep
+the artifact schema honest.
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import platform
 import subprocess
@@ -35,7 +43,8 @@ from ..experiments.runner import PIPELINES, evaluate_design
 from ..gen import iscas89
 from ..netlist import s27
 from ..resilience import Budget, FaultPlan, inject
-from ..unroll import bmc, k_induction
+from ..sat.template import clear_template_cache, use_templates
+from ..unroll import Unrolling, bmc, k_induction
 
 #: The fixed experiment slice: small-to-medium profiles at full scale
 #: so the SAT sweep and the LP actually work, while the whole run
@@ -43,6 +52,32 @@ from ..unroll import bmc, k_induction
 BENCH_DESIGNS = ("S27", "S298", "S386", "S641", "S820", "S1488",
                  "S3330", "S5378")
 BENCH_SCALE = 1.0
+
+#: Workload profiles.  ``full`` is the committed-artifact
+#: configuration; ``smoke`` shrinks every knob so a complete run
+#: (including the ``encode`` section) finishes in a few seconds — it
+#: exists purely so the tier-1 suite can validate the artifact schema
+#: end-to-end on every test run.
+BENCH_PROFILES: Dict[str, Dict[str, Any]] = {
+    "full": {
+        "designs": BENCH_DESIGNS,
+        "scale": BENCH_SCALE,
+        "recurrence_design": "S298", "recurrence_max_k": 12,
+        "bmc_design": "S641", "bmc_depth": 24,
+        "qbf_max_k": 8,
+        "kind_bits": 8,
+        "encode_design": "S5378", "encode_frames": 16,
+    },
+    "smoke": {
+        "designs": ("S27", "S298"),
+        "scale": 0.5,
+        "recurrence_design": "S27", "recurrence_max_k": 4,
+        "bmc_design": "S298", "bmc_depth": 6,
+        "qbf_max_k": 3,
+        "kind_bits": 3,
+        "encode_design": "S298", "encode_frames": 4,
+    },
+}
 
 
 def _git_rev() -> str:
@@ -56,9 +91,94 @@ def _git_rev() -> str:
         return "dev"
 
 
+def _encode_section(reg: obs.Registry, design: str, frames: int,
+                    scale: float) -> Dict[str, Any]:
+    """Time frame encoding three ways on one design.
+
+    Each measurement builds a fresh :class:`Unrolling` and forces
+    ``frames`` frames — pure encoding, no solving.  ``direct`` walks
+    the netlist through ``encode_frame`` per frame; ``template_cold``
+    starts from an empty template cache (so it pays the one-off
+    compile); ``template_warm`` reuses the cached compilation — the
+    steady state every engine actually runs in.  ``direct`` and
+    ``warm`` are best-of-5 (scheduler/allocator noise otherwise
+    dominates sub-10ms samples; ``cold`` is necessarily a single pass
+    because only the first pass pays the compile).  ``encode_speedup``
+    is ``direct / warm``.
+    """
+    net = iscas89.generate(design, scale=scale)
+
+    def encode_all(label: str) -> float:
+        # The Unrolling constructor (solver setup + initial-state
+        # load) is identical untemplated work in both paths, so it
+        # stays outside the measured window: the figure is *frame*
+        # encoding, which is what the template layer accelerates.
+        unroll = Unrolling(net)
+        with reg.span(f"bench/encode/{label}") as sp:
+            unroll.frame(frames - 1)
+        return sp.seconds
+
+    def best_of(label: str, reps: int = 5) -> float:
+        return min(encode_all(label) for _ in range(reps))
+
+    hits_before = reg.counter_value("template.hits")
+    compiles_before = reg.counter_value("template.compiles")
+    # Pause the cyclic GC while sampling (applied identically to all
+    # three measurements): a collection landing inside one sub-10ms
+    # window otherwise skews the ratio by tens of percent.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        with use_templates(False):
+            direct = best_of("direct")
+        clear_template_cache()
+        with use_templates(True):
+            cold = encode_all("template_cold")
+            warm = best_of("template_warm")
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "design": design,
+        "frames": frames,
+        "direct_seconds": direct,
+        "template_cold_seconds": cold,
+        "template_warm_seconds": warm,
+        "encode_speedup": direct / warm if warm else None,
+        "template_compiles": reg.counter_value("template.compiles")
+        - compiles_before,
+        "template_hits": reg.counter_value("template.hits")
+        - hits_before,
+    }
+
+
+def _time_split(timers: Dict[str, Dict[str, float]]) -> Dict[str, Any]:
+    """Aggregate encode-vs-solve seconds from a timer snapshot.
+
+    Encoding is everything recorded under a leaf ``encode`` span plus
+    the one-off ``encode.compile`` spans (template compilation —
+    emitted outside ``encode`` spans by construction, so nothing is
+    double-counted); solving is the ``sat.solve`` leaves.
+    """
+    encode = solve = 0.0
+    for path, stat in timers.items():
+        leaf = path.rsplit("/", 1)[-1]
+        if leaf in ("encode", "encode.compile"):
+            encode += stat["total_s"]
+        elif leaf == "sat.solve":
+            solve += stat["total_s"]
+    total = encode + solve
+    return {
+        "encode_seconds": encode,
+        "solve_seconds": solve,
+        "encode_fraction": encode / total if total else None,
+    }
+
+
 def run_workload(reg: obs.Registry,
                  budget: Optional[Budget] = None,
-                 jobs: int = 1) -> Dict[str, Any]:
+                 jobs: int = 1,
+                 profile: str = "full") -> Dict[str, Any]:
     """Execute the fixed workload; returns the per-section summary.
 
     ``budget`` (from ``--timeout``) bounds the experiment-harness
@@ -66,8 +186,12 @@ def run_workload(reg: obs.Registry,
     timings remain comparable across revisions.  ``jobs > 1`` adds a
     ``parallel`` section: the experiment slice reruns through the
     process pool and reports per-worker wall time plus the speedup
-    over the sequential section just measured.
+    over the sequential section just measured.  ``profile`` selects a
+    :data:`BENCH_PROFILES` entry sizing every section.
     """
+    cfg = BENCH_PROFILES[profile]
+    bench_designs: Sequence[str] = cfg["designs"]
+    bench_scale: float = cfg["scale"]
     sections: Dict[str, Any] = {}
     net = s27()
 
@@ -79,24 +203,26 @@ def run_workload(reg: obs.Registry,
         "seconds": sp.seconds,
         "bounds": {str(t): b for t, b in bounds.items()},
     }
-    rec_net = iscas89.generate("S298", scale=1.0)
+    rec_net = iscas89.generate(cfg["recurrence_design"],
+                               scale=bench_scale)
     with reg.span("bench/recurrence") as sp:
-        rec = recurrence_diameter(rec_net, from_init=True, max_k=12,
+        rec = recurrence_diameter(rec_net, from_init=True,
+                                  max_k=cfg["recurrence_max_k"],
                                   conflict_budget=5000)
     sections["recurrence"] = {
         "seconds": sp.seconds, "bound": rec.bound, "exact": rec.exact,
     }
     with reg.span("bench/qbf") as sp:
-        qbf = qbf_initial_diameter(net, max_k=8)
+        qbf = qbf_initial_diameter(net, max_k=cfg["qbf_max_k"])
     sections["qbf"] = {
         "seconds": sp.seconds, "bound": qbf.bound, "exact": qbf.exact,
     }
 
     # BMC to a fixed window on a generated mid-size design (exercises
     # the unrolling + solver far beyond what s27 can).
-    bmc_net = iscas89.generate("S641", scale=1.0)
+    bmc_net = iscas89.generate(cfg["bmc_design"], scale=bench_scale)
     with reg.span("bench/bmc") as sp:
-        check = bmc(bmc_net, max_depth=24)
+        check = bmc(bmc_net, max_depth=cfg["bmc_depth"])
     sections["bmc"] = {
         "seconds": sp.seconds,
         "status": check.status,
@@ -115,9 +241,8 @@ def run_workload(reg: obs.Registry,
     # The three-pipeline experiment harness on a small design slice.
     designs: Dict[str, Dict[str, float]] = {}
     with reg.span("bench/experiments") as sp:
-        for name in BENCH_DESIGNS:
-            profile = iscas89.profile(name).scaled(BENCH_SCALE)
-            design = iscas89.generate(profile.name, scale=BENCH_SCALE)
+        for name in bench_designs:
+            design = iscas89.generate(name, scale=bench_scale)
             row = evaluate_design(design, budget=budget)
             designs[name] = {
                 pipeline: row.columns[pipeline].seconds
@@ -135,14 +260,16 @@ def run_workload(reg: obs.Registry,
     # 254 -> 255 always exists), so all ``max_k`` rounds run.
     from ..netlist import NetlistBuilder
 
-    builder = NetlistBuilder("bench-counter8")
-    regs = builder.registers(8, prefix="c")
+    bits = cfg["kind_bits"]
+    builder = NetlistBuilder(f"bench-counter{bits}")
+    regs = builder.registers(bits, prefix="c")
     builder.connect_word(regs, builder.increment(regs))
     kind_target = builder.buf(
-        builder.word_eq(regs, builder.word_const(255, 8)), name="t")
+        builder.word_eq(regs, builder.word_const(2 ** bits - 1, bits)),
+        name="t")
     builder.net.add_target(kind_target)
     with reg.span("bench/k-induction") as sp:
-        kind = k_induction(builder.net, kind_target, max_k=8,
+        kind = k_induction(builder.net, kind_target, max_k=bits,
                            conflict_budget=20000)
     counters = reg.snapshot()["counters"]
     sections["k_induction"] = {
@@ -160,11 +287,11 @@ def run_workload(reg: obs.Registry,
         from ..parallel.workers import run_design
 
         payloads = [{"generate": iscas89.generate, "name": name,
-                     "scale": BENCH_SCALE, "sweep_config": None}
-                    for name in BENCH_DESIGNS]
+                     "scale": bench_scale, "sweep_config": None}
+                    for name in bench_designs]
         with reg.span("bench/parallel") as sp:
             outcomes = ParallelExecutor(jobs=jobs, name="bench").map(
-                run_design, payloads, labels=list(BENCH_DESIGNS))
+                run_design, payloads, labels=list(bench_designs))
         sequential = sections["experiments"]["seconds"]
         sections["parallel"] = {
             "jobs": jobs,
@@ -193,16 +320,25 @@ def run_workload(reg: obs.Registry,
         "bmc_status": aborted.status,
         "bmc_exhaustion": aborted.exhaustion_reason,
     }
+
+    # Frame-encoding A/B on the profile's largest design: the direct
+    # netlist walk vs cold/warm compiled-template stamping.
+    with reg.span("bench/encode") as sp:
+        encode = _encode_section(reg, cfg["encode_design"],
+                                 cfg["encode_frames"], bench_scale)
+    encode["seconds"] = sp.seconds
+    sections["encode"] = encode
     return sections
 
 
 def run_bench(rev: str, timeout: float = 0,
-              jobs: int = 1) -> Dict[str, Any]:
+              jobs: int = 1, profile: str = "full") -> Dict[str, Any]:
     """Run the workload in a scoped registry; returns the artifact."""
     budget = Budget(wall_seconds=timeout, name="bench") \
         if timeout else None
     with obs.scoped(obs.Registry(f"bench-{rev}")) as reg:
-        sections = run_workload(reg, budget=budget, jobs=jobs)
+        sections = run_workload(reg, budget=budget, jobs=jobs,
+                                profile=profile)
         snapshot = reg.snapshot()
     solver_keys = ("sat.conflicts", "sat.decisions", "sat.propagations",
                    "sat.restarts", "sat.solve_calls")
@@ -210,8 +346,9 @@ def run_bench(rev: str, timeout: float = 0,
                            "com.budget", "portfolio.budget",
                            "portfolio.failures", "runner.",
                            "structural.refinement_skips")
+    cfg = BENCH_PROFILES[profile]
     return {
-        "schema": "repro-bench-v1",
+        "schema": "repro-bench-v2",
         "rev": rev,
         "host": {
             "python": platform.python_version(),
@@ -219,9 +356,11 @@ def run_bench(rev: str, timeout: float = 0,
             "system": platform.system(),
             "machine": platform.machine(),
         },
-        "workload": {"designs": list(BENCH_DESIGNS),
-                     "scale": BENCH_SCALE},
+        "workload": {"designs": list(cfg["designs"]),
+                     "scale": cfg["scale"],
+                     "profile": profile},
         "sections": sections,
+        "time_split": _time_split(snapshot["timers"]),
         "solver": {key: snapshot["counters"].get(key, 0)
                    for key in solver_keys},
         "resilience": {key: value for key, value
@@ -247,9 +386,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for the parallel "
                              "section (default 1 = skip it)")
+    parser.add_argument("--profile", default="full",
+                        choices=sorted(BENCH_PROFILES),
+                        help="workload size (default: full; smoke is "
+                             "the tier-1 schema check)")
     args = parser.parse_args(argv)
     rev = args.rev or _git_rev()
-    artifact = run_bench(rev, timeout=args.timeout, jobs=args.jobs)
+    artifact = run_bench(rev, timeout=args.timeout, jobs=args.jobs,
+                         profile=args.profile)
     path = args.out or f"BENCH_{rev}.json"
     with open(path, "w") as handle:
         json.dump(artifact, handle, indent=2, sort_keys=False)
@@ -261,6 +405,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     lines.append(f"  solver: {solver['sat.solve_calls']} calls, "
                  f"{solver['sat.conflicts']} conflicts, "
                  f"{solver['sat.decisions']} decisions")
+    encode = artifact["sections"]["encode"]
+    if encode.get("encode_speedup"):
+        lines.append(f"  encode speedup ({encode['design']}): "
+                     f"{encode['encode_speedup']:.1f}x "
+                     f"(direct {encode['direct_seconds']:.3f} s -> "
+                     f"warm {encode['template_warm_seconds']:.3f} s)")
+    split = artifact["time_split"]
+    lines.append(f"  time split: encode {split['encode_seconds']:.3f} s"
+                 f" / solve {split['solve_seconds']:.3f} s")
     print("\n".join(lines))
     return 0
 

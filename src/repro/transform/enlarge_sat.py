@@ -18,10 +18,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..core.record import StepKind, TransformResult, TransformStep
 from ..netlist import GateType, Netlist, rebuild
 from ..sat import SAT, CnfSink, Solver, encode_frame, encode_mux, \
     lit_not, pos
+from ..sat.template import get_template, netlist_has_const0, \
+    templates_enabled
 
 #: A cube: state-element vid -> required value.
 Cube = Dict[int, int]
@@ -60,18 +63,29 @@ def _enumerate_preimage(net: Netlist, cubes: List[Cube],
     """
     solver = Solver()
     sink = CnfSink(solver)
+    tmpl = get_template(net, "frame") if templates_enabled() else None
     state0 = {vid: pos(solver.new_var()) for vid in net.state_elements}
-    lits = encode_frame(net, sink, dict(state0))
-    state1: Dict[int, int] = {}
-    for vid in net.state_elements:
-        gate = net.gate(vid)
-        if gate.type is GateType.REGISTER:
-            state1[vid] = lits[gate.fanins[0]]
+    if (tmpl.has_const0 if tmpl is not None
+            else netlist_has_const0(net)):
+        _ = sink.true_lit  # pin before the frame (parity, see Unrolling)
+    with obs.span("encode"):
+        if tmpl is not None:
+            lits, nxt = tmpl.stamp(sink, state0)
+            assert nxt is not None
+            state1: Dict[int, int] = nxt
         else:
-            data, clock = gate.fanins
-            out = pos(solver.new_var())
-            encode_mux(sink, out, lits[clock], lits[data], lits[vid])
-            state1[vid] = out
+            lits = encode_frame(net, sink, dict(state0))
+            state1 = {}
+            for vid in net.state_elements:
+                gate = net.gate(vid)
+                if gate.type is GateType.REGISTER:
+                    state1[vid] = lits[gate.fanins[0]]
+                else:
+                    data, clock = gate.fanins
+                    out = pos(solver.new_var())
+                    encode_mux(sink, out, lits[clock], lits[data],
+                               lits[vid])
+                    state1[vid] = out
     solver.add_clause([_frontier_lit(sink, state1, cubes)])
     # Exclude already-covered states (inductive simplification).
     for cube in block_cubes:
@@ -135,12 +149,20 @@ def enlarge_target_sat(net: Netlist, target: Optional[int] = None,
         raise ValueError("enlargement depth must be >= 0")
 
     # S_0: states where the target can be asserted now, enumerated the
-    # same way over a single frame.
+    # same way over a single frame (no next-state tail needed).
     solver = Solver()
     sink = CnfSink(solver)
+    tmpl = get_template(net, "frame") if templates_enabled() else None
     state_lits = {vid: pos(solver.new_var())
                   for vid in net.state_elements}
-    lits = encode_frame(net, sink, dict(state_lits))
+    if (tmpl.has_const0 if tmpl is not None
+            else netlist_has_const0(net)):
+        _ = sink.true_lit
+    with obs.span("encode"):
+        if tmpl is not None:
+            lits, _ = tmpl.stamp(sink, state_lits, with_next=False)
+        else:
+            lits = encode_frame(net, sink, dict(state_lits))
     solver.add_clause([lits[target]])
     from ..netlist import state_support
 

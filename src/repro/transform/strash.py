@@ -14,6 +14,7 @@ the inductive SAT sweep.  Trace-equivalence preserving (Theorem 1).
 
 from __future__ import annotations
 
+from .. import obs
 from ..core.record import StepKind, TransformResult, TransformStep
 from ..netlist import Netlist, aig_to_netlist, netlist_to_aig, rebuild
 
@@ -24,6 +25,12 @@ def strash(net: Netlist, name_suffix: str = "strash") -> TransformResult:
     Requires a register-based netlist with constant initial values
     (the AIG restrictions); raises
     :class:`~repro.netlist.types.NetlistError` otherwise.
+
+    Publishes ``strash.noop`` when the result is structurally
+    identical to the input (compared by the memoized
+    :meth:`~repro.netlist.netlist.Netlist.signature`, the same digest
+    that keys the frame-template cache — a no-op round-trip keeps the
+    cached template hot).
     """
     aig, lit_of = netlist_to_aig(net)
     back, vertex_of = aig_to_netlist(aig)
@@ -55,6 +62,8 @@ def strash(net: Netlist, name_suffix: str = "strash") -> TransformResult:
             mapped[o] = map_vertex(o)
         back.add_output(mapped[o])
     out, remap = rebuild(back, name=f"{net.name}-{name_suffix}")
+    if out.signature() == net.signature():
+        obs.counter("strash.noop")
     step = TransformStep(
         name="STRASH",
         kind=StepKind.TRACE_EQUIVALENT,

@@ -96,6 +96,7 @@ def bmc(
     complete_bound: Optional[int] = None,
     conflict_budget: Optional[int] = None,
     budget: Optional[Budget] = None,
+    use_template: Optional[bool] = None,
 ) -> BMCResult:
     """Check target reachability for depths ``0 .. max_depth - 1``.
 
@@ -106,13 +107,16 @@ def bmc(
     ``Solver.solve`` contract; ``budget`` is checked before every
     frame (and cooperatively inside each solve) — exhaustion yields
     :data:`ABORTED` with a structured ``exhaustion_reason``,
-    cancellation raises.
+    cancellation raises.  ``use_template`` forwards to
+    :class:`~repro.unroll.unroller.Unrolling` (None = the global
+    template toggle); either setting yields identical results.
     """
     if target is None:
         if not net.targets:
             raise ValueError("netlist has no targets")
         target = net.targets[0]
-    unroll = Unrolling(net, constrain_init=True)
+    unroll = Unrolling(net, constrain_init=True,
+                       use_template=use_template)
     depth = max_depth
     if complete_bound is not None:
         depth = min(max_depth, complete_bound)
@@ -156,6 +160,7 @@ def bmc_multi(
     complete_bounds: Optional[Dict[int, int]] = None,
     conflict_budget: Optional[int] = None,
     budget: Optional[Budget] = None,
+    use_template: Optional[bool] = None,
 ) -> Dict[int, BMCResult]:
     """Check many targets over one shared unrolling.
 
@@ -170,7 +175,8 @@ def bmc_multi(
     if targets is None:
         targets = list(dict.fromkeys(net.targets))
     complete_bounds = complete_bounds or {}
-    unroll = Unrolling(net, constrain_init=True)
+    unroll = Unrolling(net, constrain_init=True,
+                       use_template=use_template)
     results: Dict[int, BMCResult] = {}
     open_targets = list(dict.fromkeys(targets))
     reg = obs.get_registry()

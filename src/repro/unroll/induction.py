@@ -41,6 +41,7 @@ def k_induction(
     max_k: int = 10,
     conflict_budget: Optional[int] = None,
     budget: Optional[Budget] = None,
+    use_template: Optional[bool] = None,
 ) -> BMCResult:
     """Prove or falsify a target by k-induction up to ``max_k``.
 
@@ -67,16 +68,20 @@ def k_induction(
         if not net.targets:
             raise ValueError("netlist has no targets")
         target = net.targets[0]
-    # Base cases are discharged incrementally by plain BMC.
+    # Base cases are discharged incrementally by plain BMC.  Base and
+    # step share one compiled frame template (the template cache is
+    # keyed by netlist structure, not by unrolling).
     base = bmc(net, target, max_depth=max_k + 1,
-               conflict_budget=conflict_budget, budget=budget)
+               conflict_budget=conflict_budget, budget=budget,
+               use_template=use_template)
     if base.status in (FALSIFIED, ABORTED):
         return base
 
     # Step: an unconstrained simple path of k+1 states with the target
     # false at 0..k-1 and true at k must be UNSAT for inductiveness.
     reg = obs.get_registry()
-    step = Unrolling(net, constrain_init=False)
+    step = Unrolling(net, constrain_init=False,
+                     use_template=use_template)
     solver = step.solver
     for k in range(1, max_k + 1):
         reason = _budget_abort(budget)

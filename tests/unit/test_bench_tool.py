@@ -24,7 +24,7 @@ REQUIRED_SECTIONS = ("structural", "recurrence", "qbf", "bmc", "prove",
 def _validate_artifact(artifact):
     for key in REQUIRED_KEYS:
         assert key in artifact, f"missing top-level key {key!r}"
-    assert artifact["schema"] == "repro-bench-v1"
+    assert artifact["schema"] in ("repro-bench-v1", "repro-bench-v2")
     for section in REQUIRED_SECTIONS:
         assert section in artifact["sections"]
         assert artifact["sections"][section]["seconds"] >= 0.0
@@ -35,6 +35,29 @@ def _validate_artifact(artifact):
     per_design = artifact["sections"]["experiments"]["per_design"]
     for timings in per_design.values():
         assert set(timings) == {"original", "com", "crc"}
+    if artifact["schema"] == "repro-bench-v2":
+        _validate_v2_extensions(artifact)
+
+
+def _validate_v2_extensions(artifact):
+    """Schema v2: the ``encode`` section and the encode/solve split."""
+    encode = artifact["sections"]["encode"]
+    for key in ("design", "frames", "direct_seconds",
+                "template_cold_seconds", "template_warm_seconds",
+                "encode_speedup", "template_compiles",
+                "template_hits"):
+        assert key in encode, f"missing encode key {key!r}"
+    assert encode["frames"] > 0
+    assert encode["direct_seconds"] > 0
+    assert encode["template_warm_seconds"] > 0
+    assert encode["encode_speedup"] > 0
+    assert encode["template_compiles"] >= 1
+    assert encode["template_hits"] >= 1
+    split = artifact["time_split"]
+    assert split["encode_seconds"] > 0
+    assert split["solve_seconds"] > 0
+    counters = artifact["counters"]
+    assert counters.get("template.frames_stamped", 0) > 0
 
 
 def test_git_rev_is_nonempty_string():
@@ -68,6 +91,35 @@ def test_committed_pr3_artifact_has_parallel_sections():
     # difference-clause pairs per round: O(k^2) total.
     assert kind["diff_clause_pairs"] == k * (k + 1) // 2
     assert kind["step_vars"] > 0
+
+
+def test_committed_pr4_artifact_has_encode_section():
+    path = REPO_ROOT / "benchmarks" / "BENCH_pr4.json"
+    assert path.exists(), "benchmarks/BENCH_pr4.json must be committed"
+    artifact = json.loads(path.read_text())
+    assert artifact["rev"] == "pr4"
+    assert artifact["schema"] == "repro-bench-v2"
+    _validate_artifact(artifact)
+    encode = artifact["sections"]["encode"]
+    # The headline acceptance figure of the compiled-template work:
+    # warm stamping beats the direct netlist walk by >= 3x on the
+    # largest bench profile.
+    assert encode["design"] == "S5378"
+    assert encode["encode_speedup"] >= 3.0
+
+
+def test_smoke_profile_validates_schema(tmp_path):
+    """Tier-1 end-to-end run of the smallest bench profile: keeps the
+    v2 artifact schema (encode section, time split) honest without
+    paying for the full workload."""
+    out = tmp_path / "BENCH_smoke.json"
+    assert main(["--rev", "smoke", "--out", str(out),
+                 "--profile", "smoke"]) == 0
+    artifact = json.loads(out.read_text())
+    assert artifact["rev"] == "smoke"
+    assert artifact["schema"] == "repro-bench-v2"
+    assert artifact["workload"]["profile"] == "smoke"
+    _validate_artifact(artifact)
 
 
 @pytest.mark.bench

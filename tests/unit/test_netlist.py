@@ -195,3 +195,64 @@ class TestNetlistBuilder:
         bits = b.inputs(2)
         lines = b.onehot_decode(bits)
         assert len(lines) == 4
+
+
+class TestSignatureMemo:
+    """signature() is memoized, shared by copy(), invalidated by every
+    gate mutation, and blind to targets/outputs (the frame-template
+    cache key contract)."""
+
+    @staticmethod
+    def two_gate_net():
+        net = Netlist("sig")
+        x = net.add_gate(GateType.INPUT, name="x")
+        y = net.add_gate(GateType.INPUT, name="y")
+        g = net.add_gate(GateType.AND, (x, y))
+        return net, x, y, g
+
+    def test_memoized_and_stable(self):
+        net, *_ = self.two_gate_net()
+        assert net._sig is None
+        sig = net.signature()
+        assert net._sig == sig
+        assert net.signature() == sig
+
+    def test_structurally_identical_nets_share_signature(self):
+        a, *_ = self.two_gate_net()
+        b, *_ = self.two_gate_net()
+        assert a.signature() == b.signature()
+
+    def test_add_gate_invalidates(self):
+        net, x, y, _ = self.two_gate_net()
+        sig = net.signature()
+        net.add_gate(GateType.OR, (x, y))
+        assert net._sig is None
+        assert net.signature() != sig
+
+    def test_set_fanins_invalidates(self):
+        net, x, y, g = self.two_gate_net()
+        sig = net.signature()
+        net.set_fanins(g, (y, x))
+        assert net._sig is None
+        assert net.signature() != sig
+
+    def test_replace_gate_invalidates(self):
+        net, x, y, g = self.two_gate_net()
+        sig = net.signature()
+        net.replace_gate(g, Gate(GateType.OR, (x, y)))
+        assert net._sig is None
+        assert net.signature() != sig
+
+    def test_copy_shares_memoized_digest(self):
+        net, *_ = self.two_gate_net()
+        sig = net.signature()
+        dup = net.copy()
+        assert dup._sig == sig
+        assert dup.signature() == sig
+
+    def test_targets_outputs_names_are_excluded(self):
+        net, x, y, g = self.two_gate_net()
+        sig = net.signature()
+        net.add_target(g)
+        net.add_output(g)
+        assert net.signature() == sig

@@ -287,3 +287,79 @@ class TestSolverStress:
         for i in range(10):
             assert s.solve([pos(vs[0])]) == SAT
             assert all(s.model[v] for v in vs)
+
+
+class TestBulkLoad:
+    """new_vars + add_clauses_bulk: the template stamping fast path
+    must leave the solver state-identical to the slow path."""
+
+    def test_new_vars_matches_repeated_new_var(self):
+        a, b = Solver(), Solver()
+        for _ in range(7):
+            a.new_var()
+        base = b.new_vars(7)
+        assert base == 0
+        assert a.num_vars == b.num_vars == 7
+        assert a._assign == b._assign
+        assert len(a._watches) == len(b._watches)
+        assert sorted(a._heap) == sorted(b._heap)
+        # Non-positive counts allocate nothing.
+        assert b.new_vars(0) == 7
+        assert b.new_vars(-3) == 7
+        assert b.num_vars == 7
+
+    def test_bulk_matches_individual_adds(self):
+        clauses = [[pos(0), neg(1)], [pos(1), pos(2), neg(3)],
+                   [neg(0), pos(3)]]
+        a, b = Solver(), Solver()
+        a.new_vars(4)
+        b.new_vars(4)
+        for cl in clauses:
+            assert a.add_clause(list(cl))
+        assert b.add_clauses_bulk([list(cl) for cl in clauses])
+        assert [c.lits for c in a._clauses] \
+            == [c.lits for c in b._clauses]
+        assert a.solve() == b.solve() == SAT
+
+    def test_bulk_normalises_assigned_literals_like_add_clause(self):
+        def build(use_bulk):
+            s = Solver()
+            s.new_vars(5)
+            assert s.add_clause([pos(0)])  # level-0 assignment
+            batch = [
+                [pos(0), pos(1)],          # satisfied: dropped
+                [neg(0), pos(2), pos(3)],  # falsified lit removed
+                [pos(3), neg(4)],          # untouched
+            ]
+            if use_bulk:
+                assert s.add_clauses_bulk(batch)
+            else:
+                for cl in batch:
+                    assert s.add_clause(cl)
+            return ([c.lits for c in s._clauses], s._assign,
+                    list(s._trail), s.num_vars)
+
+        assert build(False) == build(True)
+
+    def test_bulk_unit_outcome_propagates(self):
+        s = Solver()
+        s.new_vars(3)
+        assert s.add_clause([neg(1)])
+        # [1, 2] loses the falsified literal 1 -> unit on 2.
+        assert s.add_clauses_bulk([[pos(1), pos(2)]])
+        assert s._assign[2] is True
+
+    def test_bulk_empty_outcome_is_unsat(self):
+        s = Solver()
+        s.new_vars(2)
+        assert s.add_clause([neg(0)])
+        assert s.add_clause([neg(1)])
+        assert not s.add_clauses_bulk([[pos(0), pos(1)]])
+        assert s.solve() == UNSAT
+
+    def test_bulk_after_prior_unsat_is_noop(self):
+        s = Solver()
+        s.new_vars(1)
+        assert s.add_clause([pos(0)])
+        assert not s.add_clause([neg(0)])
+        assert not s.add_clauses_bulk([[pos(0), neg(0)]])

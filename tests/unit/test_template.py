@@ -1,0 +1,263 @@
+"""Unit tests for compiled frame templates (repro.sat.template).
+
+The load-bearing property is the parity contract: stamping a compiled
+template must leave the solver in a state *element-wise identical* to
+the direct ``encode_frame`` path — same variable count, same clause
+stream, same level-0 assignments.  Everything downstream (the golden
+equivalence suite in ``tests/integration``) follows from it.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import obs
+from repro.netlist import NetlistBuilder, s27
+from repro.sat import CNF, CnfSink, Solver, encode_frame, pos
+from repro.sat import template as tmpl_mod
+from repro.sat.template import (
+    MODES,
+    SLOT_BASE,
+    FrameTemplate,
+    _group_runs,
+    _is_bulk_safe,
+    clear_template_cache,
+    compile_template,
+    get_template,
+    netlist_has_const0,
+    set_templates_enabled,
+    template_cache_size,
+    templates_enabled,
+    use_templates,
+)
+from repro.unroll import Unrolling
+
+
+def counter(width):
+    b = NetlistBuilder(f"counter{width}")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.word_eq(regs, b.word_const((1 << width) - 1, width))
+    b.net.add_target(b.buf(t, name="t"))
+    return b.net
+
+
+def solver_fingerprint(solver):
+    return (solver.num_vars,
+            [tuple(c.lits) for c in solver._clauses],
+            tuple(solver._assign), tuple(solver._trail), solver._ok)
+
+
+def unrolling_fingerprint(net, frames, constrain_init, enabled):
+    clear_template_cache()
+    with use_templates(enabled):
+        u = Unrolling(net, constrain_init=constrain_init)
+        for t in range(frames):
+            u.frame(t)
+        return solver_fingerprint(u.solver) + (
+            tuple(tuple(sorted(f.items())) for f in u.frames),
+            tuple(tuple(sorted(s.items())) for s in u.state_lits),
+        )
+
+
+class TestBulkSafety:
+    def test_short_clauses_are_not_bulk(self):
+        assert not _is_bulk_safe((4,))
+        assert not _is_bulk_safe(())
+
+    def test_distinct_locals_are_bulk(self):
+        assert _is_bulk_safe((2, 5, 7))
+
+    def test_duplicate_local_variable_is_not_bulk(self):
+        # lits 4 and 5 are the two phases of variable 2.
+        assert not _is_bulk_safe((4, 5))
+        assert not _is_bulk_safe((4, 4))
+
+    def test_one_slot_is_bulk_two_are_not(self):
+        s0 = SLOT_BASE
+        s1 = SLOT_BASE + 2
+        assert _is_bulk_safe((2, s0))
+        assert _is_bulk_safe((s0, 3, 5))
+        # Two slots could stamp to one variable (e.g. both pinned to
+        # the shared constant), so they keep the add_clause route.
+        assert not _is_bulk_safe((s0, s1))
+        assert not _is_bulk_safe((2, s0, s1 ^ 1))
+
+
+class TestGroupRuns:
+    def test_empty(self):
+        assert _group_runs((), ()) == ()
+
+    def test_maximal_same_classification_runs(self):
+        clauses = ((0, 2), (2, 4), (5,), (7,), (8, 10))
+        safe = (True, True, False, False, True)
+        assert _group_runs(clauses, safe) == (
+            (True, ((0, 2), (2, 4))),
+            (False, ((5,), (7,))),
+            (True, (((8, 10)),)),
+        )
+
+    def test_runs_cover_stream_in_order(self):
+        clauses = tuple((2 * i, 2 * i + 2) for i in range(7))
+        safe = (True, False, True, True, False, False, True)
+        runs = _group_runs(clauses, safe)
+        flat = [cl for _, seg in runs for cl in seg]
+        assert flat == list(clauses)
+
+
+class TestCompile:
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            compile_template(s27(), "banana")
+
+    def test_frame_mode_slots_are_state_elements(self):
+        net = s27()
+        t = compile_template(net, "frame")
+        assert t.mode == "frame"
+        assert list(t.slots) == net.state_elements
+        assert set(t.next_state) == set(net.state_elements)
+        assert t.core_clauses <= len(t.clauses)
+        assert t.signature == net.signature()
+
+    def test_io_mode_slots_include_inputs(self):
+        net = s27()
+        t = compile_template(net, "io")
+        assert list(t.slots) == net.state_elements + list(net.inputs)
+
+    def test_init_mode_has_no_next_state(self):
+        net = s27()
+        t = compile_template(net, "init")
+        assert list(t.slots) == list(net.inputs)
+        assert t.next_state == {}
+
+    def test_has_const0_matches_netlist_scan(self):
+        net = s27()
+        assert compile_template(net).has_const0 \
+            == netlist_has_const0(net)
+
+    def test_template_is_slotted_and_frozen_shaped(self):
+        t = compile_template(counter(2))
+        assert not hasattr(t, "__dict__")
+        assert isinstance(t.clauses, tuple)
+        assert all(isinstance(c, tuple) for c in t.clauses)
+
+
+class TestStampParity:
+    """Stamping == direct encode, element for element."""
+
+    @pytest.mark.parametrize("constrain_init", [True, False])
+    @pytest.mark.parametrize("make", [s27, lambda: counter(3)])
+    def test_unrolling_fingerprints_match(self, make, constrain_init):
+        net = make()
+        direct = unrolling_fingerprint(net, 5, constrain_init, False)
+        templ = unrolling_fingerprint(net, 5, constrain_init, True)
+        assert direct == templ
+
+    def test_stamp_into_cnf_backend_matches_encode_frame(self):
+        """The non-solver (plain CNF) backend takes the generic path
+        but must produce the same clause stream too."""
+        net = counter(3)
+        t = compile_template(net, "frame")
+
+        def build(use_tmpl):
+            cnf = CNF()
+            sink = CnfSink(cnf)
+            state = {v: pos(sink.new_var())
+                     for v in net.state_elements}
+            if t.has_const0:
+                _ = sink.true_lit
+            if use_tmpl:
+                lits, nxt = t.stamp(sink, state)
+            else:
+                lits = encode_frame(net, sink, dict(state))
+                nxt = {v: lits[net.gate(v).fanins[0]]
+                       for v in net.state_elements}
+            return cnf.num_vars, list(cnf.clauses), lits, nxt
+
+        assert build(False) == build(True)
+
+    def test_with_next_false_stops_at_core(self):
+        # A latch forces a real hold-mux tail after the core.
+        b = NetlistBuilder("latched")
+        clk = b.input("clk")
+        d = b.input("d")
+        lat = b.latch(d, clk, name="l")
+        b.net.add_target(lat)
+        net = b.net
+        t = compile_template(net, "frame")
+        assert t.core_clauses < len(t.clauses)
+        solver = Solver()
+        sink = CnfSink(solver)
+        state = {v: pos(sink.new_var()) for v in net.state_elements}
+        if t.has_const0:
+            _ = sink.true_lit
+        before = solver.num_vars
+        _, nxt = t.stamp(sink, state, with_next=False)
+        assert nxt is None
+        assert solver.num_vars - before == t.core_locals
+
+
+class TestCacheAndToggle:
+    def setup_method(self):
+        clear_template_cache()
+
+    def teardown_method(self):
+        clear_template_cache()
+
+    def test_cache_hit_returns_same_object_and_counts(self):
+        reg = obs.get_registry()
+        net = s27()
+        compiles = reg.counter_value("template.compiles")
+        hits = reg.counter_value("template.hits")
+        a = get_template(net, "frame")
+        b = get_template(net, "frame")
+        assert a is b
+        assert reg.counter_value("template.compiles") == compiles + 1
+        assert reg.counter_value("template.hits") == hits + 1
+
+    def test_cache_keyed_by_structure_not_identity(self):
+        a = get_template(counter(2))
+        b = get_template(counter(2))  # fresh object, same structure
+        assert a is b
+
+    def test_modes_cached_independently(self):
+        net = s27()
+        assert get_template(net, "frame") \
+            is not get_template(net, "io")
+        assert template_cache_size() == 2
+
+    def test_lru_evicts_oldest(self, monkeypatch):
+        monkeypatch.setattr(tmpl_mod, "_CACHE_MAX", 2)
+        nets = [counter(w) for w in (2, 3, 4)]
+        first = get_template(nets[0])
+        get_template(nets[1])
+        get_template(nets[2])  # evicts counter2
+        assert template_cache_size() == 2
+        assert get_template(nets[0]) is not first  # recompiled
+
+    def test_toggle_set_and_scope(self):
+        assert templates_enabled()  # default on
+        previous = set_templates_enabled(False)
+        assert previous is True
+        assert not templates_enabled()
+        with use_templates(True):
+            assert templates_enabled()
+        assert not templates_enabled()
+        set_templates_enabled(True)
+
+    def test_env_var_disables_templates(self):
+        env = dict(os.environ)
+        env["REPRO_FRAME_TEMPLATES"] = "0"
+        env["PYTHONPATH"] = os.pathsep.join(
+            [p for p in (env.get("PYTHONPATH"),) if p] + ["src"])
+        code = ("import repro.sat.template as t; "
+                "import sys; sys.exit(0 if not t.templates_enabled() "
+                "else 1)")
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              cwd=os.path.dirname(
+                                  os.path.dirname(
+                                      os.path.dirname(
+                                          os.path.abspath(__file__)))))
+        assert proc.returncode == 0
