@@ -194,6 +194,9 @@ def qbf_initial_diameter(net: Netlist, max_k: int = 32,
                     conflict_budget=conflict_budget, budget=budget)
             reg.event("qbf.check", k=k, valid=result.valid,
                       exact=result.exact, seconds=check_span.seconds)
+            obs.progress("qbf", k=k, of=max_k, valid=result.valid,
+                         exact=result.exact,
+                         seconds=round(check_span.seconds, 6))
             checks.append(result)
             if not result.exact:
                 return QBFDiameterResult(

@@ -89,6 +89,9 @@ def recurrence_diameter(
                     conflict_budget=conflict_budget, budget=budget)
             reg.event("recurrence.step", k=k, result=result,
                       seconds=step_span.seconds)
+            obs.progress("recurrence", k=k, of=max_k, result=result,
+                         bound_so_far=longest + 1,
+                         seconds=round(step_span.seconds, 6))
             if result == UNSAT:
                 return RecurrenceResult(bound=k, exact=True,
                                         longest_path=k - 1)

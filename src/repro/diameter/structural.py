@@ -36,9 +36,17 @@ unsound).  The paper's engine reports slightly tighter GC numbers
 reachability refinement; we keep the provably sound variant and note
 the difference in EXPERIMENTS.md.
 
-and the bound of a target is the maximum over the components feeding
-its combinational cone (1 for purely combinational targets, matching
-"the diameter of a combinational netlist is 1").
+and the bound of a target combines the components feeding its
+combinational cone (1 for purely combinational targets, matching
+"the diameter of a combinational netlist is 1").  Memoryless sibling
+components (pure AC/CC cones, whose outputs are a function of a
+bounded input window) combine with ``max``; *stateful* siblings
+cannot — their trajectories phase-correlate through shared inputs or
+plain time (two autonomous mod-``p``/mod-``q`` counters reach a joint
+state only at time ``~p*q``), so their bounds multiply, and a
+memoryless sibling then adds its pipeline depth on top (the joint
+state is reachable within ``depth`` steps of replaying the stateful
+part's witness).
 """
 
 from __future__ import annotations
@@ -51,6 +59,7 @@ from ..netlist import (
     GateType,
     Netlist,
     condensation_order,
+    cone_of_influence,
     register_graph,
     state_support,
 )
@@ -215,13 +224,17 @@ class StructuralAnalysis:
         self._bound_cache: Dict[Component, int] = {}
         self._support_cache: Dict[int, FrozenSet[int]] = {}
         self._gc_states_cache: Dict[Component, int] = {}
-        with obs.span("diameter.structural"):
+        self._cone_cache: Dict[Component, FrozenSet[Component]] = {}
+        with obs.span("diameter.structural") as analysis_span:
             self._decompose()
         reg = obs.get_registry()
         for kind, count in self.register_profile().items():
             if count:
                 reg.counter(f"structural.registers.{kind}", count)
         reg.counter("structural.components", len(self.components))
+        obs.progress("structural", components=len(self.components),
+                     registers=len(net.state_elements),
+                     seconds=round(analysis_span.seconds, 6))
 
     # ------------------------------------------------------------------
     # Decomposition and classification
@@ -464,13 +477,65 @@ class StructuralAnalysis:
         count = result.count_states()
         return max(1, min(count, 1 << comp.size))
 
+    def _cone_components(self, comp: Component) -> FrozenSet[Component]:
+        """Components in ``comp``'s cone of influence (``comp`` plus
+        every transitive ancestor, through next *and* init edges)."""
+        if comp not in self._cone_cache:
+            coi = cone_of_influence(self.net, sorted(comp.members))
+            self._cone_cache[comp] = frozenset(
+                self.component_of[v] for v in coi
+                if v in self.component_of)
+        return self._cone_cache[comp]
+
+    def _cone_has_history(self, comp: Component) -> bool:
+        """True when the component's cone holds multi-step state (a
+        GC/MC/QC anywhere upstream); pure AC/CC cones are memoryless
+        functions of a bounded window of past inputs."""
+        return any(c.kind in (GC, MC, QC)
+                   for c in self._cone_components(comp))
+
     def bound(self, target: int) -> int:
-        """Diameter bound ``d̂(t)`` of a target vertex."""
+        """Diameter bound ``d̂(t)`` of a target vertex.
+
+        Sibling components feeding the cone cannot simply take the
+        ``max`` of their bounds: even input-disjoint stateful siblings
+        phase-correlate through time (a free-running toggler is ``1``
+        only at even cycles, so a joint valuation with a sibling can
+        first occur well after both components' individual bounds).
+        Stateful sibling bounds therefore *multiply* — the joint
+        trajectory lives in the product state space, and the orbit/CRT
+        argument bounds the first joint occurrence below the product —
+        while memoryless (pure AC/CC cone) siblings add their window
+        depth on top: replay the stateful witness, then append the
+        ``depth`` inputs that fill the deepest window.  A group that is
+        memoryless throughout keeps the ``max`` rule: its joint output
+        is a function of the last ``depth`` inputs, all free.
+        """
         support = state_support(self.net, target)
         if not support:
             return 1
-        return max(self.component_bound(self.component_of[s])
-                   for s in support)
+        comps: List[Component] = []
+        for s in sorted(support):
+            comp = self.component_of[s]
+            if comp not in comps:
+                comps.append(comp)
+        # A support component already inside a sibling's cone is
+        # accounted for by that sibling's d_in chain; keep only the
+        # maximal ones so chains do not self-multiply.
+        maximal = [c for c in comps
+                   if not any(other is not c
+                              and c in self._cone_components(other)
+                              for other in comps)]
+        stateful = [c for c in maximal if self._cone_has_history(c)]
+        memoryless = [c for c in maximal if c not in stateful]
+        if not stateful:
+            return max(self.component_bound(c) for c in memoryless)
+        bound = 1
+        for comp in stateful:
+            bound *= self.component_bound(comp)
+        depth = max((self.component_bound(c) - 1 for c in memoryless),
+                    default=0)
+        return bound + depth
 
     def bounds(self, targets: Optional[List[int]] = None) -> Dict[int, int]:
         """Bounds for all (or the given) targets."""

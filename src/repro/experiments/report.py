@@ -133,7 +133,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for per-design fan-out "
                              "(default 1 = sequential)")
+    parser.add_argument("--progress", action="store_true",
+                        help="report live engine progress on stderr")
     args = parser.parse_args(argv)
+    obs.trace.setup_cli(progress_flag=args.progress)
     report = generate_report(
         scale=args.scale,
         max_registers=args.max_registers or None,

@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from .. import obs
 from ..gen import iscas89
 from ..resilience import Budget
 from ..transform import SweepConfig
@@ -59,7 +60,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for per-design fan-out "
                              "(default 1 = sequential)")
+    parser.add_argument("--progress", action="store_true",
+                        help="report live engine progress on stderr")
     args = parser.parse_args(argv)
+    obs.trace.setup_cli(progress_flag=args.progress)
     designs = args.designs.split(",") if args.designs else None
     budget = Budget(wall_seconds=args.timeout, name="table1") \
         if args.timeout else None

@@ -21,8 +21,15 @@ Tests and benchmarks isolate their measurements with ``obs.scoped()``::
     with obs.scoped() as reg:
         run_workload()
         assert reg.counter_value("sat.conflicts") > 0
+
+Live visibility while a run executes comes from :mod:`repro.obs.trace`
+(streaming JSONL sinks via ``REPRO_TRACE``, cross-process timeline
+stitching, progress heartbeats)::
+
+    obs.progress("bmc", frame=t, of=depth)   # no-op unless enabled
 """
 
+from . import trace
 from .registry import (
     Registry,
     SpanHandle,
@@ -34,6 +41,7 @@ from .registry import (
     span,
     stopwatch,
 )
+from .trace import progress
 
 __all__ = [
     "Registry",
@@ -42,7 +50,9 @@ __all__ = [
     "counter",
     "event",
     "get_registry",
+    "progress",
     "scoped",
     "span",
     "stopwatch",
+    "trace",
 ]

@@ -10,26 +10,47 @@ them as deltas at a call boundary (see ``Solver.solve``).
 
 Design points:
 
-* **Monotonic time only.**  All durations come from
-  :func:`time.perf_counter`; wall-clock (`time.time`) is never used,
-  so NTP steps cannot produce negative or garbage durations.
+* **Monotonic time only for durations.**  All durations come from
+  :func:`time.perf_counter`; wall-clock (`time.time`) is never used
+  for a duration, so NTP steps cannot produce negative or garbage
+  spans.  Each registry additionally records the *wall-clock epoch*
+  at which its monotonic clock started (``snapshot()["epoch"]``) so
+  event offsets from different processes can be placed on one shared
+  timeline (see :meth:`Registry.merge_snapshot`).
 * **Hierarchical spans.**  Spans nest; a span opened while another is
   active records under the joined path ``outer/inner``.  The same
-  path accumulates total seconds, call count, and max duration.
+  path accumulates total seconds, call count, and max duration.  The
+  nesting stack is *thread-local*: concurrent threads each see their
+  own span path, never a sibling thread's.
+* **Bounded events.**  The in-memory event list is a ring buffer
+  (:data:`DEFAULT_MAX_EVENTS` records); once full, the oldest event
+  is dropped and the ``obs.events_dropped`` counter incremented, so
+  week-long runs cannot exhaust memory.  For unbounded event capture
+  use the streaming trace layer (:mod:`repro.obs.trace`).
 * **A process-global default registry** plus :func:`scoped` for
-  isolation (tests, the bench harness).
+  isolation (tests, the bench harness).  The current-registry swap is
+  lock-protected so threaded callers cannot interleave a half-applied
+  swap.
 * **JSON round-trip.**  ``snapshot()`` is plain-JSON data;
   ``Registry.from_snapshot`` restores it.
+
+When a streaming :class:`~repro.obs.trace.TraceSink` is active, every
+span boundary, counter delta and event is additionally forwarded to
+it; with no sink attached the forwarding cost is a single module-
+global ``None`` check.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 __all__ = [
+    "DEFAULT_MAX_EVENTS",
     "Registry",
     "SpanHandle",
     "Stopwatch",
@@ -40,6 +61,25 @@ __all__ = [
     "span",
     "stopwatch",
 ]
+
+#: Ring-buffer capacity of :attr:`Registry._events` (see class docs).
+DEFAULT_MAX_EVENTS = 10_000
+
+#: The active streaming trace sink (or None).  Owned by
+#: :mod:`repro.obs.trace`; the registry only ever *reads* it, so the
+#: disabled fast path is one global load + ``is None`` test.
+_trace_sink = None
+
+
+def _set_trace_sink(sink) -> None:
+    """Install (or clear, with None) the streaming trace sink.
+
+    Called by :func:`repro.obs.trace.start_trace` / ``stop_trace``
+    only; keeping the setter here avoids an import cycle while letting
+    every registry share one sink.
+    """
+    global _trace_sink
+    _trace_sink = sink
 
 
 class Stopwatch:
@@ -74,30 +114,48 @@ class SpanHandle:
 class Registry:
     """A collection of hierarchical timers, counters and events."""
 
-    def __init__(self, name: str = "default") -> None:
+    def __init__(self, name: str = "default",
+                 max_events: int = DEFAULT_MAX_EVENTS) -> None:
         self.name = name
         #: span path -> [total_seconds, count, max_seconds]
         self._timers: Dict[str, List[float]] = {}
         self._counters: Dict[str, int] = {}
-        self._events: List[Dict[str, Any]] = []
-        self._stack: List[str] = []
+        self._events: Deque[Dict[str, Any]] = deque()
+        self._max_events = max_events
+        self._local = threading.local()
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of ``_epoch`` — the cross-process
+        #: alignment anchor (events are stored at monotonic offsets
+        #: from ``_epoch``; ``epoch_wall + at`` is a wall-clock time).
+        self.epoch_wall = time.time()
+
+    def _span_stack(self) -> List[str]:
+        """This thread's span-nesting stack (created on first use)."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     @contextmanager
     def span(self, name: str) -> Iterator[SpanHandle]:
-        """Time a block under ``name``, nested below any active span."""
-        path = f"{self._stack[-1]}/{name}" if self._stack else name
-        self._stack.append(path)
+        """Time a block under ``name``, nested below any active span
+        *of the current thread*."""
+        stack = self._span_stack()
+        path = f"{stack[-1]}/{name}" if stack else name
+        stack.append(path)
         handle = SpanHandle(path)
+        sink = _trace_sink
+        if sink is not None:
+            sink.span_begin(path, name)
         start = time.perf_counter()
         try:
             yield handle
         finally:
             elapsed = time.perf_counter() - start
-            self._stack.pop()
+            stack.pop()
             handle.seconds = elapsed
             stat = self._timers.get(path)
             if stat is None:
@@ -107,11 +165,17 @@ class Registry:
                 stat[1] += 1
                 if elapsed > stat[2]:
                     stat[2] = elapsed
+            sink = _trace_sink
+            if sink is not None:
+                sink.span_end(path, name, elapsed)
 
     def counter(self, name: str, delta: int = 1) -> int:
         """Add ``delta`` to counter ``name``; returns the new value."""
         value = self._counters.get(name, 0) + delta
         self._counters[name] = value
+        sink = _trace_sink
+        if sink is not None:
+            sink.counter(name, delta, value)
         return value
 
     def event(self, name: str, **fields: Any) -> None:
@@ -121,10 +185,24 @@ class Registry:
             "name": name,
             "at": time.perf_counter() - self._epoch,
         }
-        if self._stack:
-            record["span"] = self._stack[-1]
+        stack = self._span_stack()
+        if stack:
+            record["span"] = stack[-1]
         record.update(fields)
-        self._events.append(record)
+        self._append_event(record)
+        sink = _trace_sink
+        if sink is not None:
+            sink.event(name, fields, span=record.get("span"))
+
+    def _append_event(self, record: Dict[str, Any]) -> None:
+        """Ring-buffered append: past capacity the oldest event is
+        dropped and ``obs.events_dropped`` incremented."""
+        events = self._events
+        events.append(record)
+        if len(events) > self._max_events:
+            events.popleft()
+            self._counters["obs.events_dropped"] = \
+                self._counters.get("obs.events_dropped", 0) + 1
 
     # ------------------------------------------------------------------
     # Reading
@@ -139,14 +217,27 @@ class Registry:
         return self._counters.get(name, 0)
 
     @property
-    def events(self) -> List[Dict[str, Any]]:
-        """The recorded event trace (live list; treat as read-only)."""
+    def events(self) -> Deque[Dict[str, Any]]:
+        """The recorded event ring (live deque; treat as read-only)."""
         return self._events
 
+    @property
+    def events_dropped(self) -> int:
+        """Events evicted from the ring buffer since the last reset."""
+        return self._counters.get("obs.events_dropped", 0)
+
     def snapshot(self) -> Dict[str, Any]:
-        """A plain-JSON view of the whole registry."""
+        """A plain-JSON view of the whole registry.
+
+        ``epoch`` is the wall-clock instant at which this registry's
+        monotonic clock started: ``epoch + event["at"]`` is an
+        absolute wall-clock time, which is what lets
+        :meth:`merge_snapshot` align snapshots taken in different
+        processes onto one timeline.
+        """
         return {
             "name": self.name,
+            "epoch": self.epoch_wall,
             "timers": {
                 path: {"total_s": stat[0], "count": stat[1],
                        "max_s": stat[2]}
@@ -154,12 +245,16 @@ class Registry:
             },
             "counters": dict(sorted(self._counters.items())),
             "events": list(self._events),
+            "events_dropped": self._counters.get("obs.events_dropped",
+                                                 0),
         }
 
     @classmethod
     def from_snapshot(cls, data: Dict[str, Any]) -> "Registry":
         """Rebuild a registry from :meth:`snapshot` output."""
         reg = cls(data.get("name", "default"))
+        if "epoch" in data:
+            reg.epoch_wall = data["epoch"]
         for path, stat in data.get("timers", {}).items():
             reg._timers[path] = [stat["total_s"], stat["count"],
                                  stat["max_s"]]
@@ -175,10 +270,14 @@ class Registry:
         (:mod:`repro.parallel`): workers run under their own scoped
         registry, ship the snapshot home, and the parent merges it
         here.  Timer paths and counter names gain ``prefix/``; timer
-        totals/counts add up and maxima combine; events are appended
-        with a ``source`` field naming the prefix (their ``at``
-        offsets stay relative to the *worker's* epoch — monotonic
-        clocks do not compare across processes).
+        totals/counts add up and maxima combine.  Events are appended
+        with a ``source`` field naming the prefix (or, without a
+        prefix, the originating registry's name) and — when the
+        snapshot carries a wall-clock ``epoch`` — their ``at``
+        offsets are rebased onto *this* registry's epoch, so worker
+        events land at their true position on the parent's timeline
+        (monotonic clocks do not compare across processes, but the
+        wall-clock epochs recorded next to them do).
         """
         pre = f"{prefix.rstrip('/')}/" if prefix else ""
         for path, stat in data.get("timers", {}).items():
@@ -193,12 +292,23 @@ class Registry:
                 if stat["max_s"] > merged[2]:
                     merged[2] = stat["max_s"]
         for name, value in data.get("counters", {}).items():
-            self.counter(pre + name, value)
+            # Direct bump, NOT self.counter(): the worker already
+            # streamed these deltas to its own trace file, so
+            # forwarding them again here would double-count every
+            # worker counter in a stitched timeline.
+            key = pre + name
+            self._counters[key] = self._counters.get(key, 0) + value
+        source = prefix or data.get("name", "unknown")
+        shift: Optional[float] = None
+        their_epoch = data.get("epoch")
+        if their_epoch is not None:
+            shift = their_epoch - self.epoch_wall
         for ev in data.get("events", []):
             record = dict(ev)
-            if prefix:
-                record["source"] = prefix
-            self._events.append(record)
+            record["source"] = source
+            if shift is not None and "at" in record:
+                record["at"] = record["at"] + shift
+            self._append_event(record)
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The snapshot serialized as JSON."""
@@ -229,11 +339,17 @@ class Registry:
         self._counters.clear()
         self._events.clear()
         self._epoch = time.perf_counter()
+        self.epoch_wall = time.time()
 
 
 #: The process-global default registry.
 _default = Registry("global")
 _current = _default
+
+#: Serializes the :func:`scoped` current-registry swap: without it two
+#: threads scoping at once could interleave swap/restore and leave a
+#: third thread recording into a dead registry.
+_swap_lock = threading.Lock()
 
 
 def get_registry() -> Registry:
@@ -248,16 +364,20 @@ def scoped(registry: Optional[Registry] = None) -> Iterator[Registry]:
     Everything instrumented inside the block records into the scoped
     registry; the previous one is restored on exit.  This is how tests
     and the bench harness isolate their measurements from the global
-    accumulator.
+    accumulator.  The swap itself is lock-protected (thread-safe); the
+    *scope* is still process-global — a worker thread running during
+    the block records into the scoped registry too.
     """
     global _current
-    previous = _current
     reg = registry if registry is not None else Registry("scoped")
-    _current = reg
+    with _swap_lock:
+        previous = _current
+        _current = reg
     try:
         yield reg
     finally:
-        _current = previous
+        with _swap_lock:
+            _current = previous
 
 
 def span(name: str):

@@ -141,7 +141,17 @@ def _run_task(fn: Callable[[Any, Optional[Budget]], Any],
     Runs ``fn(payload, budget)`` under a fresh scoped registry and the
     re-armed fault schedule, returning ``(kind, value, snapshot,
     seconds)`` where ``kind`` is ``"ok"`` or ``"error"``.
+
+    When ``REPRO_TRACE`` is set (inherited from the parent CLI) the
+    shim opens a per-process sibling sink ``<path>.<pid>`` sharing the
+    parent's trace id, so the parent can stitch all worker files into
+    one wall-clock-aligned timeline; ``REPRO_PROGRESS`` likewise
+    re-installs the stderr reporter in the worker.  Both are no-ops
+    in-process (``jobs=1``): the parent's sink/reporter are already
+    live.
     """
+    obs.trace.open_worker_sink()
+    obs.trace.progress_from_env()
     watch = obs.stopwatch()
     with obs.scoped(obs.Registry("worker")) as reg:
         budget = spec.restore() if spec is not None else None
@@ -156,6 +166,13 @@ def _run_task(fn: Callable[[Any, Optional[Budget]], Any],
             return ("ok", value, reg.snapshot(), watch.elapsed)
         except _TYPED_ERRORS as exc:
             return ("error", exc, reg.snapshot(), watch.elapsed)
+        finally:
+            # Pool workers are reused and then killed without cleanup:
+            # push buffered trace records out after every task so the
+            # parent can stitch complete files at any point.
+            sink = obs.trace.active_sink()
+            if sink is not None:
+                sink.flush()
 
 
 class ParallelExecutor:

@@ -385,6 +385,12 @@ class Solver:
                 self._cancel_until(back_level)
                 self._record_learnt(learnt)
                 self._decay_activities()
+                if (self.conflicts & 2047) == 0:
+                    # Heartbeat every 2048 conflicts: one mask test on
+                    # the hot path, a progress record only when due.
+                    obs.progress("sat", conflicts=self.conflicts,
+                                 decisions=self.decisions,
+                                 learnts=len(self._learnts))
                 if budget is not None:
                     budget.charge_conflicts()
                     if self._budget_stop(budget) is not None:

@@ -390,7 +390,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         choices=sorted(BENCH_PROFILES),
                         help="workload size (default: full; smoke is "
                              "the tier-1 schema check)")
+    parser.add_argument("--progress", action="store_true",
+                        help="report live engine progress on stderr")
     args = parser.parse_args(argv)
+    obs.trace.setup_cli(progress_flag=args.progress)
     rev = args.rev or _git_rev()
     artifact = run_bench(rev, timeout=args.timeout, jobs=args.jobs,
                          profile=args.profile)

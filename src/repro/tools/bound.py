@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+from .. import obs
 from ..core import TBVEngine, compare_strategies
 from ..diameter import recurrence_diameter
 from ..resilience import Budget, ResourceExhausted
@@ -91,7 +92,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="worker processes for /-separated "
                              "strategy alternatives (default 1 = "
                              "sequential)")
+    parser.add_argument("--progress", action="store_true",
+                        help="report live engine progress on stderr")
     args = parser.parse_args(argv)
+    obs.trace.setup_cli(progress_flag=args.progress)
 
     net = load_netlist(args.netlist)
     print(f"loaded {net}")

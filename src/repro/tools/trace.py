@@ -1,0 +1,300 @@
+"""CLI: inspect streamed traces and gate bench-artifact regressions.
+
+Usage::
+
+    python -m repro.tools.trace summary  <trace[.pid]> [--top 15]
+    python -m repro.tools.trace export   <trace> --format chrome
+                                         [--out timeline.json]
+    python -m repro.tools.trace regress  <baseline.json> <candidate.json>
+                                         [--threshold 1.3]
+                                         [--min-seconds 0.05]
+                                         [--report-only]
+
+``summary`` and ``export`` operate on the JSONL files written under
+``REPRO_TRACE=<path>`` (see :mod:`repro.obs.trace`): given the parent
+path they automatically pick up the per-worker siblings
+``<path>.<pid>`` and stitch everything into one wall-clock-aligned
+timeline.  ``export --format chrome`` writes Chrome trace-event JSON
+loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+``regress`` compares two committed bench artifacts
+(``benchmarks/BENCH_<rev>.json``) metric by metric — per-section
+seconds, the encode/solve time split, solver effort counters, and the
+``encode_speedup`` headline — and exits nonzero when any metric
+regressed beyond the threshold, making the perf trajectory CI-gateable:
+
+    python -m repro.tools.trace regress benchmarks/BENCH_pr3.json \
+        benchmarks/BENCH_pr4.json --report-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import trace as _trace
+
+#: Solver-effort counters compared by ``regress`` (deterministic
+#: workload => deterministic counts; a jump means the encoding or the
+#: search changed, not noise).
+_SOLVER_KEYS = ("sat.conflicts", "sat.decisions", "sat.propagations",
+                "sat.solve_calls")
+#: Minimum absolute counter delta before a ratio counts as a
+#: regression (tiny denominators otherwise explode the ratio).
+_MIN_COUNT = 1000
+
+
+# ----------------------------------------------------------------------
+# summary
+# ----------------------------------------------------------------------
+def _span_totals(records: List[Dict[str, Any]]
+                 ) -> Tuple[Dict[str, float], Dict[str, int]]:
+    """Total seconds and hit counts per hierarchical span path."""
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for record in records:
+        if record.get("ty") != "E":
+            continue
+        path = record.get("path", "?")
+        totals[path] = totals.get(path, 0.0) + record.get("dur", 0.0)
+        counts[path] = counts.get(path, 0) + 1
+    return totals, counts
+
+
+def _self_times(totals: Dict[str, float]) -> Dict[str, float]:
+    """Self time per path: its total minus its direct children's."""
+    self_times = dict(totals)
+    for path, seconds in totals.items():
+        head, _, _ = path.rpartition("/")
+        if head in self_times:
+            self_times[head] -= seconds
+    return self_times
+
+
+def _counter_totals(records: List[Dict[str, Any]]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for record in records:
+        if record.get("ty") == "C":
+            name = record.get("name", "?")
+            totals[name] = totals.get(name, 0) + record.get("delta", 0)
+    return totals
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    paths = _trace.discover_trace_files(args.trace)
+    if not paths:
+        print(f"no trace files at {args.trace}")
+        return 2
+    records = _trace.stitch_files(paths)
+    by_type: Dict[str, int] = {}
+    pids = set()
+    for record in records:
+        by_type[record.get("ty", "?")] = \
+            by_type.get(record.get("ty", "?"), 0) + 1
+        pids.add(record.get("pid"))
+    stamped = [r["t"] for r in records if "t" in r]
+    wall = (max(stamped) - min(stamped)) if stamped else 0.0
+    print(f"{len(paths)} file(s), {len(records)} records, "
+          f"{len(pids)} process(es), {wall:.3f} s wall")
+    print("  " + "  ".join(f"{ty}:{n}"
+                           for ty, n in sorted(by_type.items())))
+    totals, counts = _span_totals(records)
+    self_times = _self_times(totals)
+    if totals:
+        print(f"\ntop spans by self time (of {len(totals)} paths):")
+        ranked = sorted(self_times.items(), key=lambda kv: -kv[1])
+        for path, self_s in ranked[:args.top]:
+            print(f"  {self_s:9.3f} s self  {totals[path]:9.3f} s "
+                  f"total  x{counts[path]:<7} {path}")
+    counters = _counter_totals(records)
+    if counters:
+        print(f"\ntop counters (of {len(counters)}):")
+        ranked_counts = sorted(counters.items(), key=lambda kv: -kv[1])
+        for name, value in ranked_counts[:args.top]:
+            print(f"  {value:>12}  {name}")
+    progress = [r for r in records if r.get("ty") == "P"]
+    if progress:
+        sources: Dict[str, int] = {}
+        for record in progress:
+            source = record.get("source", "?")
+            sources[source] = sources.get(source, 0) + 1
+        print("\nprogress heartbeats: "
+              + "  ".join(f"{src}:{n}"
+                          for src, n in sorted(sources.items())))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+def _cmd_export(args: argparse.Namespace) -> int:
+    paths = _trace.discover_trace_files(args.trace)
+    if not paths:
+        print(f"no trace files at {args.trace}")
+        return 2
+    records = _trace.stitch_files(paths)
+    if args.format == "chrome":
+        document = _trace.to_chrome(records)
+    else:  # "jsonl": the stitched record stream itself
+        document = records
+    out = args.out or (args.trace + ".chrome.json"
+                       if args.format == "chrome"
+                       else args.trace + ".stitched.jsonl")
+    with open(out, "w") as handle:
+        if args.format == "chrome":
+            json.dump(document, handle)
+            handle.write("\n")
+        else:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+    print(f"wrote {out} ({len(records)} records from "
+          f"{len(paths)} file(s))")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# regress
+# ----------------------------------------------------------------------
+def _seconds_metrics(artifact: Dict[str, Any]) -> Dict[str, float]:
+    """The wall-time metrics of a bench artifact, flattened."""
+    metrics: Dict[str, float] = {}
+    for name, section in artifact.get("sections", {}).items():
+        seconds = section.get("seconds")
+        if isinstance(seconds, (int, float)):
+            metrics[f"sections.{name}.seconds"] = float(seconds)
+    split = artifact.get("time_split", {})
+    for key in ("encode_seconds", "solve_seconds"):
+        value = split.get(key)
+        if isinstance(value, (int, float)):
+            metrics[f"time_split.{key}"] = float(value)
+    return metrics
+
+
+def compare_artifacts(baseline: Dict[str, Any],
+                      candidate: Dict[str, Any],
+                      threshold: float = 1.3,
+                      min_seconds: float = 0.05
+                      ) -> List[Dict[str, Any]]:
+    """Metric-by-metric comparison of two bench artifacts.
+
+    Returns one row per compared metric with ``regressed`` set when
+    the candidate is worse than ``threshold`` times the baseline AND
+    the absolute change clears the noise floor (``min_seconds`` for
+    wall times, :data:`_MIN_COUNT` for solver counters).  The
+    ``encode_speedup`` headline is higher-is-better: it regresses when
+    the candidate drops below ``baseline / threshold``.
+    """
+    rows: List[Dict[str, Any]] = []
+
+    def row(metric: str, base: float, cand: float, regressed: bool,
+            higher_better: bool = False) -> None:
+        ratio = (cand / base) if base else None
+        rows.append({"metric": metric, "baseline": base,
+                     "candidate": cand, "ratio": ratio,
+                     "regressed": regressed,
+                     "higher_better": higher_better})
+
+    base_seconds = _seconds_metrics(baseline)
+    cand_seconds = _seconds_metrics(candidate)
+    for metric in sorted(base_seconds):
+        if metric not in cand_seconds:
+            continue
+        base, cand = base_seconds[metric], cand_seconds[metric]
+        regressed = (cand > base * threshold
+                     and cand - base > min_seconds)
+        row(metric, base, cand, regressed)
+
+    base_solver = baseline.get("solver", {})
+    cand_solver = candidate.get("solver", {})
+    for key in _SOLVER_KEYS:
+        base, cand = base_solver.get(key), cand_solver.get(key)
+        if not isinstance(base, (int, float)) or \
+                not isinstance(cand, (int, float)):
+            continue
+        regressed = (base > 0 and cand > base * threshold
+                     and cand - base > _MIN_COUNT)
+        row(f"solver.{key}", float(base), float(cand), regressed)
+
+    base_speedup = baseline.get("sections", {}) \
+        .get("encode", {}).get("encode_speedup")
+    cand_speedup = candidate.get("sections", {}) \
+        .get("encode", {}).get("encode_speedup")
+    if isinstance(base_speedup, (int, float)) and \
+            isinstance(cand_speedup, (int, float)):
+        regressed = cand_speedup < base_speedup / threshold
+        row("encode.encode_speedup", float(base_speedup),
+            float(cand_speedup), regressed, higher_better=True)
+    return rows
+
+
+def _cmd_regress(args: argparse.Namespace) -> int:
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.candidate) as handle:
+        candidate = json.load(handle)
+    rows = compare_artifacts(baseline, candidate,
+                             threshold=args.threshold,
+                             min_seconds=args.min_seconds)
+    base_rev = baseline.get("rev", args.baseline)
+    cand_rev = candidate.get("rev", args.candidate)
+    print(f"bench regress: {base_rev} -> {cand_rev} "
+          f"(threshold {args.threshold:g}x, "
+          f"noise floor {args.min_seconds:g} s / {_MIN_COUNT} counts)")
+    regressions = [r for r in rows if r["regressed"]]
+    for r in rows:
+        mark = "REGRESSED" if r["regressed"] else "ok"
+        ratio = f"{r['ratio']:.2f}x" if r["ratio"] is not None \
+            else "  n/a"
+        arrow = "^" if r["higher_better"] else ""
+        print(f"  {mark:<9} {ratio:>7}{arrow}  "
+              f"{r['baseline']:>12.3f} -> {r['candidate']:>12.3f}  "
+              f"{r['metric']}")
+    print(f"{len(regressions)} regression(s) over {len(rows)} metrics")
+    if regressions and not args.report_only:
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro.tools.trace",
+                                     description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser(
+        "summary", help="top spans/counters of a stitched trace")
+    p_summary.add_argument("trace", help="trace file (workers at "
+                                         "<trace>.<pid> auto-included)")
+    p_summary.add_argument("--top", type=int, default=15)
+    p_summary.set_defaults(fn=_cmd_summary)
+
+    p_export = sub.add_parser(
+        "export", help="export a stitched trace for visualization")
+    p_export.add_argument("trace")
+    p_export.add_argument("--format", choices=["chrome", "jsonl"],
+                          default="chrome")
+    p_export.add_argument("--out", default=None)
+    p_export.set_defaults(fn=_cmd_export)
+
+    p_regress = sub.add_parser(
+        "regress", help="compare two BENCH_*.json artifacts")
+    p_regress.add_argument("baseline")
+    p_regress.add_argument("candidate")
+    p_regress.add_argument("--threshold", type=float, default=1.3,
+                           help="worse-than ratio that fails a metric "
+                                "(default 1.3)")
+    p_regress.add_argument("--min-seconds", type=float, default=0.05,
+                           help="absolute wall-time noise floor "
+                                "(default 0.05 s)")
+    p_regress.add_argument("--report-only", action="store_true",
+                           help="always exit 0 (informational runs)")
+    p_regress.set_defaults(fn=_cmd_regress)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

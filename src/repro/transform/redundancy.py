@@ -281,7 +281,7 @@ def _sweep(
         limit = total_pairs + 1 if config.max_rounds is None \
             else config.max_rounds
         converged = False
-        for _ in range(limit):
+        for round_index in range(limit):
             if _budget_drained(budget):
                 # Mid-refinement exhaustion: the classes are not at a
                 # fixpoint, so none of the pending proofs stand.
@@ -308,6 +308,11 @@ def _sweep(
                 if len(rest) > 1:
                     new_classes.append(rest)
             classes = new_classes
+            obs.progress(
+                "com.sweep", round=round_index, of=limit,
+                classes=len(classes),
+                pairs=sum(len(cls) - 1 for cls in classes),
+                changed=changed)
             if not changed:
                 converged = True
                 break

@@ -79,6 +79,15 @@ class BMCResult:
         return self.status in (FALSIFIED, PROVEN)
 
 
+def _budget_remaining(budget: Optional[Budget]) -> Optional[float]:
+    """Seconds left on ``budget`` for progress records (None if
+    unlimited or no budget)."""
+    if budget is None:
+        return None
+    remaining = budget.remaining_seconds()
+    return None if remaining is None else round(remaining, 3)
+
+
 def _budget_abort(budget: Optional[Budget]) -> Optional[str]:
     """Pre-frame cooperative check: raises on cancellation, returns
     the exhaustion reason (None to keep going)."""
@@ -135,6 +144,10 @@ def bmc(
                     budget=budget)
             reg.event("bmc.frame", t=t, result=result,
                       seconds=frame_span.seconds)
+            obs.progress(
+                "bmc", frame=t, of=depth, result=result,
+                seconds=round(frame_span.seconds, 6),
+                budget_s=_budget_remaining(budget))
             if result == SAT:
                 model = unroll.solver.model
                 cex = Counterexample(
@@ -216,6 +229,9 @@ def bmc_multi(
                     exhaustion_reason=unroll.solver.last_exhaustion)
             else:
                 still_open.append(target)
+        obs.progress("bmc.multi", frame=t, of=max_depth,
+                     open=len(still_open), resolved=len(results),
+                     budget_s=_budget_remaining(budget))
         open_targets = still_open
     for target in open_targets:
         bound = complete_bounds.get(target)

@@ -18,7 +18,7 @@ from ..netlist import Netlist
 from ..resilience import Budget
 from ..sat import UNKNOWN, UNSAT, CnfSink, encode_xor2, lit_not, pos
 from .bmc import BMCResult, FALSIFIED, PROVEN, BOUNDED, ABORTED, \
-    _budget_abort, bmc
+    _budget_abort, _budget_remaining, bmc
 from .unroller import Unrolling
 
 
@@ -96,9 +96,13 @@ def k_induction(
         assumptions = [lit_not(step.literal(target, i))
                        for i in range(k)]
         assumptions.append(step.literal(target, k))
-        result = solver.solve(assumptions,
-                              conflict_budget=conflict_budget,
-                              budget=budget)
+        with reg.span("induction/step") as step_span:
+            result = solver.solve(assumptions,
+                                  conflict_budget=conflict_budget,
+                                  budget=budget)
+        obs.progress("induction", k=k, of=max_k, result=result,
+                     seconds=round(step_span.seconds, 6),
+                     budget_s=_budget_remaining(budget))
         if result == UNSAT:
             reg.counter("induction.step_vars", solver.num_vars)
             return BMCResult(PROVEN, target, k)

@@ -95,6 +95,9 @@ class Unrolling:
                         encode_mux(self.sink, out, lits[clock],
                                    lits[data], lits[vid])
                         nxt[vid] = out
+        obs.progress("encode", frame=t,
+                     vars=self.solver.num_vars,
+                     templated=self._template is not None)
         self.frames.append(lits)
         self.state_lits.append(nxt)
 

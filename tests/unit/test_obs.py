@@ -1,6 +1,7 @@
 """Unit tests for the instrumentation layer (repro.obs)."""
 
 import json
+import threading
 
 import pytest
 
@@ -136,6 +137,159 @@ class TestScoping:
         assert 0.0 <= first <= second
         watch.reset()
         assert watch.elapsed <= second + 1.0
+
+
+class TestEventRingBuffer:
+    def test_events_capped_with_drop_counter(self):
+        reg = obs.Registry("t", max_events=5)
+        for i in range(8):
+            reg.event("e", i=i)
+        assert len(reg.events) == 5
+        assert reg.events_dropped == 3
+        # The oldest three were evicted; the newest five survive.
+        assert [e["i"] for e in reg.events] == [3, 4, 5, 6, 7]
+
+    def test_snapshot_reports_drop_count(self):
+        reg = obs.Registry("t", max_events=2)
+        for i in range(4):
+            reg.event("e", i=i)
+        snap = reg.snapshot()
+        assert snap["events_dropped"] == 2
+        assert len(snap["events"]) == 2
+        assert snap["counters"]["obs.events_dropped"] == 2
+
+    def test_default_capacity_is_large(self):
+        reg = obs.Registry("t")
+        for i in range(100):
+            reg.event("e", i=i)
+        assert reg.events_dropped == 0
+
+    def test_merged_events_respect_the_ring(self):
+        reg = obs.Registry("parent", max_events=3)
+        worker = obs.Registry("worker")
+        for i in range(5):
+            worker.event("w", i=i)
+        reg.merge_snapshot(worker.snapshot())
+        assert len(reg.events) == 3
+        assert reg.events_dropped == 2
+
+
+class TestThreadSafety:
+    def test_span_stacks_are_thread_local(self):
+        reg = obs.Registry("t")
+        ready = threading.Barrier(2)
+        errors = []
+
+        def worker(label):
+            try:
+                for _ in range(200):
+                    with reg.span(label):
+                        ready_path = reg._span_stack()[-1]
+                        # A sibling thread's span must never leak
+                        # into this thread's path.
+                        assert ready_path == label
+                        with reg.span("inner"):
+                            assert reg._span_stack()[-1] == \
+                                f"{label}/inner"
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        snap = reg.snapshot()
+        assert snap["timers"]["t0"]["count"] == 200
+        assert snap["timers"]["t1/inner"]["count"] == 200
+        assert "t0/t1" not in snap["timers"]
+
+    def test_concurrent_scoped_swaps_restore_cleanly(self):
+        before = obs.get_registry()
+
+        def scope_worker():
+            for _ in range(50):
+                with obs.scoped():
+                    pass
+
+        threads = [threading.Thread(target=scope_worker)
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert obs.get_registry() is before
+
+
+class TestMergeSnapshot:
+    def _worker_snapshot(self):
+        worker = obs.Registry("worker-3")
+        with worker.span("sat.solve"):
+            pass
+        worker.counter("sat.conflicts", 10)
+        worker.event("step", k=1)
+        return worker.snapshot()
+
+    def test_timer_totals_add_and_maxima_combine(self):
+        reg = obs.Registry("parent")
+        snap = {"timers": {"solve": {"total_s": 2.0, "count": 3,
+                                     "max_s": 1.5}},
+                "counters": {}, "events": []}
+        reg.merge_snapshot(snap)
+        reg.merge_snapshot({"timers": {"solve": {"total_s": 1.0,
+                                                 "count": 1,
+                                                 "max_s": 0.2}},
+                            "counters": {}, "events": []})
+        stat = reg.snapshot()["timers"]["solve"]
+        assert stat["total_s"] == pytest.approx(3.0)
+        assert stat["count"] == 4
+        assert stat["max_s"] == pytest.approx(1.5)
+
+    def test_prefix_applies_to_timers_and_counters(self):
+        reg = obs.Registry("parent")
+        reg.merge_snapshot(self._worker_snapshot(), prefix="pool/0")
+        snap = reg.snapshot()
+        assert "pool/0/sat.solve" in snap["timers"]
+        assert snap["counters"]["pool/0/sat.conflicts"] == 10
+
+    def test_event_source_defaults_to_registry_name(self):
+        reg = obs.Registry("parent")
+        reg.merge_snapshot(self._worker_snapshot())
+        (evt,) = reg.events
+        assert evt["source"] == "worker-3"
+
+    def test_event_source_prefers_prefix(self):
+        reg = obs.Registry("parent")
+        reg.merge_snapshot(self._worker_snapshot(), prefix="pool/7")
+        (evt,) = reg.events
+        assert evt["source"] == "pool/7"
+
+    def test_event_offsets_rebase_onto_parent_epoch(self):
+        reg = obs.Registry("parent")
+        # A worker whose clock started 100 s after the parent's: its
+        # "at 1.0 s" event happened at parent-relative 101.0 s.
+        snap = {"name": "w", "epoch": reg.epoch_wall + 100.0,
+                "timers": {}, "counters": {},
+                "events": [{"name": "e", "at": 1.0}]}
+        reg.merge_snapshot(snap)
+        (evt,) = reg.events
+        assert evt["at"] == pytest.approx(101.0)
+
+    def test_epoch_survives_snapshot_round_trip(self):
+        reg = obs.Registry("t")
+        restored = obs.Registry.from_snapshot(reg.snapshot())
+        assert restored.epoch_wall == reg.epoch_wall
+
+    def test_legacy_snapshot_without_epoch_merges_unshifted(self):
+        reg = obs.Registry("parent")
+        snap = {"name": "old", "timers": {}, "counters": {},
+                "events": [{"name": "e", "at": 2.5}]}
+        reg.merge_snapshot(snap)
+        (evt,) = reg.events
+        assert evt["at"] == 2.5
+        assert evt["source"] == "old"
 
 
 class TestSolverIntegration:
