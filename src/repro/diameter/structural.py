@@ -22,11 +22,20 @@ Composition along the component DAG (documented design choice — the
 exact CAV'02 composition rule is not published in closed form; this
 variant is validated against the exact oracle in the test-suite)::
 
-    d_in(C) = max(1, max over predecessor components of d(C'))
+    d_in(C) = max(1, compose(predecessor components of C))
     CC:     d(C) = d_in(C)
     AC:     d(C) = d_in(C) + 1
     MC/QC:  d(C) = d_in(C) * (rows + 1)
     GC:     d(C) = d_in(C) * 2**k              (k = state elements)
+
+where ``compose`` is the sibling composition described below: a group
+of purely memoryless (AC/CC-cone) siblings combines with ``max``,
+while stateful siblings multiply and the deepest memoryless window
+adds on top.  The *same* rule applies at every merge point — a
+target's combinational cone and a component's inputs alike — because
+the phase-correlation argument does not care whether the joint
+valuation is observed at a target or latched into a downstream
+component.
 
 The GC rule uses the full state count ``2**k``: anything smaller is
 refuted by the exact oracle (a k-bit counter first hits its terminal
@@ -427,9 +436,12 @@ class StructuralAnalysis:
                 stack.extend(missing)
                 continue
             stack.pop()
-            d_in = 1
-            for p in self._preds[c]:
-                d_in = max(d_in, self._bound_cache[p])
+            # The predecessors jointly feed this component's inputs:
+            # that is a merge point exactly like a target's cone, so
+            # the same stateful-multiply / memoryless-add composition
+            # applies (a plain max would under-approximate the first
+            # joint input valuation of two stateful feeders).
+            d_in = max(1, self._composed_bound(list(self._preds[c])))
             if c.kind is CC:
                 d = d_in
             elif c.kind is AC:
@@ -494,34 +506,33 @@ class StructuralAnalysis:
         return any(c.kind in (GC, MC, QC)
                    for c in self._cone_components(comp))
 
-    def bound(self, target: int) -> int:
-        """Diameter bound ``d̂(t)`` of a target vertex.
+    def _composed_bound(self, comps: List[Component]) -> int:
+        """Soundly compose the bounds of sibling components that
+        jointly feed one merge point (a target's combinational cone,
+        or a downstream component's inputs).
 
-        Sibling components feeding the cone cannot simply take the
-        ``max`` of their bounds: even input-disjoint stateful siblings
-        phase-correlate through time (a free-running toggler is ``1``
-        only at even cycles, so a joint valuation with a sibling can
-        first occur well after both components' individual bounds).
-        Stateful sibling bounds therefore *multiply* — the joint
-        trajectory lives in the product state space, and the orbit/CRT
-        argument bounds the first joint occurrence below the product —
-        while memoryless (pure AC/CC cone) siblings add their window
-        depth on top: replay the stateful witness, then append the
-        ``depth`` inputs that fill the deepest window.  A group that is
-        memoryless throughout keeps the ``max`` rule: its joint output
-        is a function of the last ``depth`` inputs, all free.
+        Siblings cannot simply take the ``max`` of their bounds: even
+        input-disjoint stateful siblings phase-correlate through time
+        (a free-running toggler is ``1`` only at even cycles, so a
+        joint valuation with a sibling can first occur well after both
+        components' individual bounds).  Stateful sibling bounds
+        therefore *multiply* — the joint trajectory lives in the
+        product state space, and the orbit/CRT argument bounds the
+        first joint occurrence below the product — while memoryless
+        (pure AC/CC cone) siblings add their window depth on top:
+        replay the stateful witness, then append the ``depth`` inputs
+        that fill the deepest window.  A group that is memoryless
+        throughout keeps the ``max`` rule: its joint output is a
+        function of the last ``depth`` inputs, all free.
+
+        A sibling already inside another sibling's cone is accounted
+        for by that sibling's d_in chain (which now uses this same
+        composition at every interior merge point); only the maximal
+        components contribute, so chains do not self-multiply.
+        An empty group composes to 1 (purely combinational inputs).
         """
-        support = state_support(self.net, target)
-        if not support:
+        if not comps:
             return 1
-        comps: List[Component] = []
-        for s in sorted(support):
-            comp = self.component_of[s]
-            if comp not in comps:
-                comps.append(comp)
-        # A support component already inside a sibling's cone is
-        # accounted for by that sibling's d_in chain; keep only the
-        # maximal ones so chains do not self-multiply.
         maximal = [c for c in comps
                    if not any(other is not c
                               and c in self._cone_components(other)
@@ -536,6 +547,21 @@ class StructuralAnalysis:
         depth = max((self.component_bound(c) - 1 for c in memoryless),
                     default=0)
         return bound + depth
+
+    def bound(self, target: int) -> int:
+        """Diameter bound ``d̂(t)`` of a target vertex: the sound
+        sibling composition (:meth:`_composed_bound`) of the
+        components feeding its combinational cone; 1 for a purely
+        combinational target."""
+        support = state_support(self.net, target)
+        if not support:
+            return 1
+        comps: List[Component] = []
+        for s in sorted(support):
+            comp = self.component_of[s]
+            if comp not in comps:
+                comps.append(comp)
+        return self._composed_bound(comps)
 
     def bounds(self, targets: Optional[List[int]] = None) -> Dict[int, int]:
         """Bounds for all (or the given) targets."""

@@ -28,9 +28,11 @@ Design points:
   week-long runs cannot exhaust memory.  For unbounded event capture
   use the streaming trace layer (:mod:`repro.obs.trace`).
 * **A process-global default registry** plus :func:`scoped` for
-  isolation (tests, the bench harness).  The current-registry swap is
-  lock-protected so threaded callers cannot interleave a half-applied
-  swap.
+  isolation (tests, the bench harness).  The current-registry state
+  is a lock-protected scope *stack*: enters and exits are atomic, and
+  an exit removes its own registry (not blindly the top), so even
+  overlapping scopes from different threads can never reinstate an
+  already-exited registry.
 * **JSON round-trip.**  ``snapshot()`` is plain-JSON data;
   ``Registry.from_snapshot`` restores it.
 
@@ -346,9 +348,17 @@ class Registry:
 _default = Registry("global")
 _current = _default
 
-#: Serializes the :func:`scoped` current-registry swap: without it two
-#: threads scoping at once could interleave swap/restore and leave a
-#: third thread recording into a dead registry.
+#: The active :func:`scoped` registries, oldest first.  Exits remove
+#: *their own* entry — not necessarily the top — and re-point
+#: ``_current`` at the remaining top, so overlapping scopes from
+#: different threads cannot restore an already-exited registry out
+#: of order (A exits while B is active: records keep flowing to B,
+#: and B's exit falls through to the global registry, never to A's
+#: dead one).
+_scope_stack: List[Registry] = []
+
+#: Protects ``_scope_stack``/``_current`` against torn or interleaved
+#: updates from concurrent :func:`scoped` enters/exits.
 _swap_lock = threading.Lock()
 
 
@@ -362,22 +372,31 @@ def scoped(registry: Optional[Registry] = None) -> Iterator[Registry]:
     """Swap in a fresh (or the given) registry for the dynamic extent.
 
     Everything instrumented inside the block records into the scoped
-    registry; the previous one is restored on exit.  This is how tests
-    and the bench harness isolate their measurements from the global
-    accumulator.  The swap itself is lock-protected (thread-safe); the
-    *scope* is still process-global — a worker thread running during
-    the block records into the scoped registry too.
+    registry; on exit the most recent still-active scope (or the
+    global registry) becomes current again.  This is how tests and
+    the bench harness isolate their measurements from the global
+    accumulator.  The *scope* is process-global — a worker thread
+    running during the block records into the scoped registry too.
+    Overlapping scopes from different threads are safe in the sense
+    that an out-of-order exit can never reinstate an already-exited
+    registry (see ``_scope_stack``), though with overlap the blocks
+    share whichever registry is innermost rather than each seeing
+    their own.
     """
     global _current
     reg = registry if registry is not None else Registry("scoped")
     with _swap_lock:
-        previous = _current
+        _scope_stack.append(reg)
         _current = reg
     try:
         yield reg
     finally:
         with _swap_lock:
-            _current = previous
+            for i in range(len(_scope_stack) - 1, -1, -1):
+                if _scope_stack[i] is reg:
+                    del _scope_stack[i]
+                    break
+            _current = _scope_stack[-1] if _scope_stack else _default
 
 
 def span(name: str):

@@ -20,10 +20,12 @@ go" *after* a run from an in-memory snapshot.  This module answers it
   the throttled stderr :class:`ProgressReporter` behind the CLIs'
   ``--progress`` flag) fire.
 * Activation: programmatic (:func:`start_trace`) or via
-  ``REPRO_TRACE=<path>`` (:func:`trace_from_env`).  Worker processes
-  spawned by :mod:`repro.parallel` call :func:`open_worker_sink`,
-  which writes a sibling file ``<path>.<pid>`` sharing the parent's
-  trace id (``REPRO_TRACE_ID`` travels through the environment);
+  ``REPRO_TRACE=<path>`` (:func:`trace_from_env`).  Either way the
+  base path and trace id are (re-)exported as
+  ``REPRO_TRACE``/``REPRO_TRACE_ID``, so worker processes spawned by
+  :mod:`repro.parallel` can call :func:`open_worker_sink`, which
+  writes a sibling file ``<path>.<pid>`` sharing the parent's
+  trace id (both variables travel through the environment);
   :func:`stitch_files` / :func:`discover_trace_files` reassemble the
   per-process files into one wall-clock-aligned timeline, and
   :func:`to_chrome` renders it as Chrome trace-event JSON
@@ -93,6 +95,28 @@ TRACE_SCHEMA = "repro-trace-v1"
 #: Registered live-progress callbacks ``hook(source, fields)``.
 _progress_hooks: List[Callable[[str, Dict[str, Any]], None]] = []
 
+#: Small sequential per-thread ids for trace records.  Chrome's
+#: (pid, tid) pair must distinguish concurrent threads, and truncating
+#: ``threading.get_ident()`` to a few bits can collide two live
+#: threads, interleaving their B/E records under one timeline row.
+#: (An ident recycled after a thread dies maps to the same small id —
+#: harmless, since the two threads never overlap in time.)
+_tid_lock = threading.Lock()
+_tid_by_ident: Dict[int, int] = {}
+
+
+def _thread_tid() -> int:
+    """This thread's small sequential trace tid (1-based)."""
+    ident = threading.get_ident()
+    tid = _tid_by_ident.get(ident)
+    if tid is None:
+        with _tid_lock:
+            tid = _tid_by_ident.get(ident)
+            if tid is None:
+                tid = len(_tid_by_ident) + 1
+                _tid_by_ident[ident] = tid
+    return tid
+
 
 class TraceSink:
     """A buffered JSONL writer for trace records.
@@ -114,7 +138,9 @@ class TraceSink:
         self._epoch_wall = time.time()
         self._epoch_perf = time.perf_counter()
         self._buffer: List[str] = []
-        self._lock = threading.Lock()
+        # Reentrant: counter() updates its running totals and emits
+        # the record under one acquisition (see below).
+        self._lock = threading.RLock()
         self._fh: Optional[IO[str]] = open(path, mode)
         self._counter_totals: Dict[str, int] = {}
         self._emit({
@@ -134,7 +160,7 @@ class TraceSink:
     def _emit(self, record: Dict[str, Any]) -> None:
         record["t"] = self._now()
         record["pid"] = self.pid
-        record["tid"] = threading.get_ident() & 0xFFFF
+        record["tid"] = _thread_tid()
         record["trace"] = self.trace_id
         try:
             line = json.dumps(record, sort_keys=False,
@@ -168,11 +194,15 @@ class TraceSink:
     def counter(self, name: str, delta: int, value: int) -> None:
         # Track the running total per name *as seen by this sink*:
         # registries swap (obs.scoped), so the registry-side value is
-        # not monotonic over the file; the sink-side total is.
-        total = self._counter_totals.get(name, 0) + delta
-        self._counter_totals[name] = total
-        self._emit({"ty": "C", "name": name, "delta": delta,
-                    "value": total})
+        # not monotonic over the file; the sink-side total is.  The
+        # read-modify-write and the emit happen under one lock
+        # acquisition (the lock is reentrant) so concurrent deltas
+        # neither lose updates nor write out-of-order running values.
+        with self._lock:
+            total = self._counter_totals.get(name, 0) + delta
+            self._counter_totals[name] = total
+            self._emit({"ty": "C", "name": name, "delta": delta,
+                        "value": total})
 
     def event(self, name: str, fields: Dict[str, Any],
               span: Optional[str] = None) -> None:
@@ -243,25 +273,41 @@ def start_trace(path: str, trace_id: Optional[str] = None,
 
     Replaces any previously-active sink (which is closed first, unless
     it was inherited from another process — see
-    :func:`open_worker_sink`).
+    :func:`open_worker_sink`).  Exports ``REPRO_TRACE`` and
+    ``REPRO_TRACE_ID`` so that worker processes spawned later join
+    the same logical trace (:func:`open_worker_sink` discovers the
+    base path and trace id through the environment) even when tracing
+    was activated programmatically rather than via ``REPRO_TRACE``.
+    Worker sinks themselves (:func:`open_worker_sink`) do not go
+    through here, so the exported base path is always the parent's.
     """
     previous = _registry._trace_sink
     if previous is not None and previous.pid == os.getpid():
         previous.close()
     sink = TraceSink(path, trace_id=trace_id, role=role, mode=mode)
     _registry._set_trace_sink(sink)
+    os.environ[TRACE_ENV] = path
+    os.environ[TRACE_ID_ENV] = sink.trace_id
     _install_atexit()
     return sink
 
 
 def stop_trace() -> Optional[str]:
-    """Close and uninstall the active sink; returns its path."""
+    """Close and uninstall the active sink; returns its path.
+
+    Un-exports the ``REPRO_TRACE``/``REPRO_TRACE_ID`` variables when
+    they still point at this sink, so a later run in the same process
+    (or a test) does not silently re-activate a finished trace.
+    """
     sink = _registry._trace_sink
     if sink is None:
         return None
     _registry._set_trace_sink(None)
     if sink.pid == os.getpid():
         sink.close()
+    if os.environ.get(TRACE_ENV) == sink.path:
+        os.environ.pop(TRACE_ENV, None)
+        os.environ.pop(TRACE_ID_ENV, None)
     return sink.path
 
 
@@ -275,9 +321,8 @@ def trace_from_env() -> Optional[TraceSink]:
     path = os.environ.get(TRACE_ENV)
     if not path or _registry._trace_sink is not None:
         return None
-    sink = start_trace(path, trace_id=os.environ.get(TRACE_ID_ENV))
-    os.environ[TRACE_ID_ENV] = sink.trace_id
-    return sink
+    # start_trace() re-exports the path and publishes the trace id.
+    return start_trace(path, trace_id=os.environ.get(TRACE_ID_ENV))
 
 
 def open_worker_sink() -> Optional[TraceSink]:

@@ -260,6 +260,31 @@ class TestStructuralBounds:
         analysis = StructuralAnalysis(net)
         assert analysis.bounds() == {t: 3}
 
+    def test_stateful_merge_at_interior_component_multiplies(self):
+        # Review regression: two stateful components merging at an
+        # *interior* component must compose like siblings at a target.
+        # A toggler (period 2) and a mod-3 counter (period 3) feed a
+        # downstream register r := AND(a, c1).  "Toggler high" (odd t)
+        # and "counter at 2" (t % 3 == 2) first coincide at t = 5, so
+        # r first hits at t = 6 — refuting the old max-composed
+        # interior d_in of max(2, 4) = 4 (AC bound 5); the product
+        # rule gives d_in = 2 * 4 = 8 and an AC bound of 9.
+        b = NetlistBuilder()
+        a = b.register(name="a")
+        b.connect(a, b.not_(a))
+        c0 = b.register(name="c0")
+        c1 = b.register(name="c1")
+        b.connect(c0, b.and_(b.not_(c0), b.not_(c1)))
+        b.connect(c1, b.buf(c0))
+        r = b.register(b.and_(a, c1), name="r")
+        t = b.buf(r, name="t")
+        b.net.add_target(t)
+        hit = first_hit_time(b.net, t)
+        assert hit == 6
+        bound = structural_diameter_bound(b.net, t)
+        assert bound == 9
+        assert hit < bound
+
 
 class TestRecurrenceDiameter:
     def test_toggler(self):

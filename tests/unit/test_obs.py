@@ -130,6 +130,23 @@ class TestScoping:
         assert inner.counter_value("shallow") == 0
         assert outer.counter_value("shallow") == 1
 
+    def test_overlapping_scope_exits_cannot_revive_dead_registry(self):
+        # Two overlapping scopes (as concurrent threads produce) that
+        # exit out of order: A's exit must not reset the current
+        # registry while B is still active, and B's exit must fall
+        # through to the base registry rather than restoring A's
+        # already-exited one.
+        base = obs.get_registry()
+        reg_a, reg_b = obs.Registry("a"), obs.Registry("b")
+        scope_a = obs.scoped(reg_a)
+        scope_b = obs.scoped(reg_b)
+        scope_a.__enter__()
+        scope_b.__enter__()
+        scope_a.__exit__(None, None, None)
+        assert obs.get_registry() is reg_b
+        scope_b.__exit__(None, None, None)
+        assert obs.get_registry() is base
+
     def test_stopwatch_is_monotonic(self):
         watch = obs.stopwatch()
         first = watch.elapsed

@@ -2,6 +2,7 @@
 
 import json
 import os
+import threading
 import time
 
 import pytest
@@ -111,6 +112,45 @@ class TestTraceSink:
             handle.write('{"ty": "I", "name": "torn')
         records = trace.read_trace(path)
         assert [r["ty"] for r in records] == ["M", "I"]
+
+    def test_counter_totals_are_thread_safe(self, tmp_path):
+        # Concurrent deltas must neither lose updates nor stream a
+        # running "value" below the true total (review regression:
+        # the read-modify-write used to happen outside the lock).
+        path = str(tmp_path / "t.jsonl")
+        sink = trace.TraceSink(path)
+
+        def bump():
+            for _ in range(500):
+                sink.counter("hits", 1, 0)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sink.close()
+        assert sink._counter_totals["hits"] == 2000
+        values = [r["value"] for r in trace.read_trace(path)
+                  if r["ty"] == "C"]
+        assert len(values) == 2000
+        assert max(values) == 2000
+
+    def test_tids_distinguish_concurrent_threads(self, tmp_path):
+        # Small sequential per-thread ids, not a truncated ident that
+        # can collide two live threads onto one Chrome timeline row.
+        path = str(tmp_path / "t.jsonl")
+        sink = trace.TraceSink(path)
+        worker = threading.Thread(target=lambda: sink.event("tick", {}))
+        worker.start()
+        worker.join()
+        sink.event("tick", {})
+        sink.close()
+        tids = [r["tid"] for r in trace.read_trace(path)
+                if r["ty"] == "I"]
+        assert len(tids) == 2
+        assert tids[0] != tids[1]
+        assert all(isinstance(t, int) and t >= 1 for t in tids)
 
     def test_stop_trace_returns_path_and_uninstalls(self, tmp_path):
         path = str(tmp_path / "t.jsonl")
@@ -225,6 +265,35 @@ class TestEnvActivation:
     def test_worker_sink_noop_without_env(self, monkeypatch):
         monkeypatch.delenv(trace.TRACE_ENV, raising=False)
         assert trace.open_worker_sink() is None
+
+    def test_programmatic_start_exports_env(self, tmp_path,
+                                            monkeypatch):
+        # Review regression: a programmatic start_trace() must export
+        # the base path and trace id so later-spawned pool workers
+        # (open_worker_sink reads the environment) join the trace.
+        monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+        monkeypatch.delenv(trace.TRACE_ID_ENV, raising=False)
+        path = str(tmp_path / "t.jsonl")
+        sink = trace.start_trace(path)
+        assert os.environ[trace.TRACE_ENV] == path
+        assert os.environ[trace.TRACE_ID_ENV] == sink.trace_id
+        # stop_trace() un-exports, so a later run in this process
+        # cannot silently resume the finished trace ...
+        assert trace.stop_trace() == path
+        assert trace.TRACE_ENV not in os.environ
+        assert trace.TRACE_ID_ENV not in os.environ
+
+    def test_stop_trace_leaves_foreign_env_alone(self, tmp_path,
+                                                 monkeypatch):
+        # ... but only when the variables still point at *this* sink
+        # (a worker stopping its per-pid sink must not strip the
+        # parent's base path from the inherited environment).
+        base = str(tmp_path / "parent.jsonl")
+        monkeypatch.setenv(trace.TRACE_ENV, base)
+        sink = trace.TraceSink(str(tmp_path / "other.jsonl"))
+        obs_registry._set_trace_sink(sink)
+        trace.stop_trace()
+        assert os.environ[trace.TRACE_ENV] == base
 
 
 class TestStitchAndExport:
