@@ -60,6 +60,9 @@ class AIG:
         self.inputs: List[int] = []
         self.latches: List[int] = []
         self.outputs: List[int] = []  # literals
+        #: AIGER 1.9 bad-state properties (literals); when non-empty
+        #: they — not the outputs — define the verification targets.
+        self.bad: List[int] = []
         self.names: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
@@ -132,6 +135,13 @@ class AIG:
         """Register ``lit`` as a primary output."""
         self._check_lit(lit)
         self.outputs.append(lit)
+        if name:
+            self.names.setdefault(aig_node(lit), name)
+
+    def add_bad(self, lit: int, name: Optional[str] = None) -> None:
+        """Register ``lit`` as an AIGER 1.9 bad-state property."""
+        self._check_lit(lit)
+        self.bad.append(lit)
         if name:
             self.names.setdefault(aig_node(lit), name)
 
@@ -282,8 +292,11 @@ def netlist_to_aig(net: Netlist) -> Tuple[AIG, Dict[int, int]]:
 def aig_to_netlist(aig: AIG) -> Tuple[Netlist, Dict[int, int]]:
     """Convert an AIG back to a gate netlist.
 
-    Returns ``(netlist, vertex_of_node)``.  Outputs become both
-    outputs and targets (the Section 4 convention).
+    Returns ``(netlist, vertex_of_node)``.  When the AIG carries
+    AIGER 1.9 bad-state properties, those become the verification
+    targets and the outputs stay plain outputs; otherwise the outputs
+    double as targets (the Section 4 convention for pre-1.9 files,
+    where the property is the output).
     """
     net = Netlist(aig.name)
     const0 = net.const0()
@@ -319,5 +332,8 @@ def aig_to_netlist(aig: AIG) -> Tuple[Netlist, Dict[int, int]]:
     for lit in aig.outputs:
         vid = lit_vertex(lit)
         net.add_output(vid)
-        net.add_target(vid)
+        if not aig.bad:
+            net.add_target(vid)
+    for lit in aig.bad:
+        net.add_target(lit_vertex(lit))
     return net, vertex_of

@@ -1,51 +1,117 @@
-"""AIGER (ASCII ``aag``) reader and writer.
+"""AIGER reader (ASCII ``aag`` and binary ``aig``) and writer.
 
 AIGER is the standard interchange format of the hardware model-checking
 community (HWMCC); supporting it makes the library's engines applicable
-to real benchmark files.  The ASCII variant is implemented::
+to real benchmark files.  Both variants are implemented:
 
-    aag M I L O A
-    <I input literals>
-    <L latch lines:  lit next [init]>
-    <O output literals>
-    <A and lines:    lhs rhs0 rhs1>
-    [i<k> name / l<k> name / o<k> name]
-    [c comment...]
+* **ASCII** (``aag``) — every AND is a ``lhs rhs0 rhs1`` text line::
 
-Literals follow AIGER conventions (variable ``v`` has literals ``2v``
-and ``2v+1``; literal 0/1 are the constants), matching the internal
+      aag M I L O A [B]
+      <I input literals>
+      <L latch lines:  lit next [init]>
+      <O output literals>
+      <B bad-state literals>          (AIGER 1.9)
+      <A and lines:    lhs rhs0 rhs1>
+      [i<k>/l<k>/o<k>/b<k> name]
+      [c comment...]
+
+* **Binary** (``aig``) — the distribution format of the HWMCC sets.
+  Variables are densely renumbered (inputs ``1..I``, latches
+  ``I+1..I+L``, ANDs after), so input lines vanish and latch lines
+  drop the latch literal; the A AND definitions follow the ASCII
+  prologue as two delta-coded varints each (LEB128-style, 7 data bits
+  per byte, high bit = continuation)::
+
+      lhs  = 2 * (I + L + k + 1)      (k-th AND, implicit)
+      rhs0 = lhs  - delta0
+      rhs1 = rhs0 - delta1
+
+AIGER 1.9 ``B`` (bad-state) counts are accepted in both variants and
+become the verification targets (:attr:`repro.netlist.aig.AIG.bad`);
+the 1.9 invariant-constraint/justice/fairness sections (``C``/``J``/
+``F``) are rejected explicitly when non-zero.  Literals follow AIGER
+conventions (variable ``v`` has literals ``2v`` and ``2v+1``; literal
+0/1 are the constants), matching the internal
 :class:`~repro.netlist.aig.AIG` encoding directly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from .aig import AIG, FALSE, aig_node
 from .types import NetlistError
 
+#: Index of each optional AIGER 1.9 header field after M I L O A.
+_EXTRA_FIELDS = ("B", "C", "J", "F")
 
-def parse_aiger(text: str, name: str = "aiger") -> AIG:
+
+def parse_aiger(data: Union[str, bytes], name: str = "aiger") -> AIG:
+    """Parse AIGER (ASCII ``aag`` or binary ``aig``) into an :class:`AIG`.
+
+    Accepts text or raw bytes; the header decides the variant, so
+    HWMCC-style binary files load unmodified (pass bytes — binary
+    files are not valid UTF-8 in general).
+    """
+    if isinstance(data, str):
+        if data.startswith("aig ") or data.startswith("aig\n"):
+            # Binary payload that travelled through a text API.
+            return _parse_binary(data.encode("latin-1"), name)
+        return _parse_ascii(data, name)
+    blob = bytes(data)
+    if blob.startswith(b"aig ") or blob.startswith(b"aig\n"):
+        return _parse_binary(blob, name)
+    try:
+        return _parse_ascii(blob.decode("utf-8"), name)
+    except UnicodeDecodeError as exc:
+        raise NetlistError(
+            "not an AIGER file (expected an 'aag' (ASCII) or 'aig' "
+            "(binary) header)") from exc
+
+
+def _parse_header(line: str) -> Tuple[int, ...]:
+    """Parse ``aag/aig M I L O A [B [C [J [F]]]]`` into 9 counts.
+
+    Missing 1.9 fields default to 0; non-zero C/J/F (constraints,
+    justice, fairness) are rejected — they change the verification
+    semantics and are not supported.
+    """
+    header = line.split()
+    if not 6 <= len(header) <= 10:
+        raise NetlistError(f"malformed AIGER header: {line!r}")
+    try:
+        counts = [int(x) for x in header[1:]]
+    except ValueError as exc:
+        raise NetlistError(f"malformed AIGER header: {line!r}") from exc
+    if any(c < 0 for c in counts):
+        raise NetlistError(f"malformed AIGER header: {line!r}")
+    counts += [0] * (9 - len(counts))
+    for field, count in zip(_EXTRA_FIELDS[1:], counts[6:]):
+        if count:
+            raise NetlistError(
+                f"AIGER 1.9 '{field}' section is not supported "
+                f"(header {line!r})")
+    return tuple(counts)
+
+
+def _parse_ascii(text: str, name: str) -> AIG:
     """Parse ASCII AIGER text into an :class:`AIG`."""
     lines = [ln.rstrip("\n") for ln in text.splitlines()]
     if not lines or not lines[0].startswith("aag"):
-        raise NetlistError("not an ASCII AIGER file (missing 'aag' header)")
-    header = lines[0].split()
-    if len(header) != 6:
-        raise NetlistError(f"malformed AIGER header: {lines[0]!r}")
-    try:
-        m, i, l, o, a = (int(x) for x in header[1:])
-    except ValueError as exc:
-        raise NetlistError(f"malformed AIGER header: {lines[0]!r}") from exc
+        raise NetlistError(
+            "not an AIGER file (expected an 'aag' (ASCII) or 'aig' "
+            "(binary) header)")
+    m, i, l, o, a, b, _, _, _ = _parse_header(lines[0])
     body = lines[1:]
-    if len(body) < i + l + o + a:
+    if len(body) < i + l + o + b + a:
         raise NetlistError("truncated AIGER body")
 
     input_lits = [int(body[k].split()[0]) for k in range(i)]
     latch_lines = [body[i + k].split() for k in range(l)]
     output_lits = [int(body[i + l + k].split()[0]) for k in range(o)]
-    and_lines = [body[i + l + o + k].split() for k in range(a)]
-    symbols = body[i + l + o + a:]
+    bad_lits = [int(body[i + l + o + k].split()[0]) for k in range(b)]
+    and_lines = [body[i + l + o + b + k].split() for k in range(a)]
+    symbols = body[i + l + o + b + a:]
 
     aig = AIG(name)
     lit_map: Dict[int, int] = {0: FALSE}
@@ -91,7 +157,6 @@ def parse_aiger(text: str, name: str = "aiger") -> AIG:
                               for r in (r0, r1)} - set(lit_map))
             raise NetlistError(f"undefined AIGER literals: {missing}")
         pending = deferred
-
     for lit, nxt in latch_next:
         if (nxt & ~1) not in lit_map:
             raise NetlistError(f"latch next references unknown var {nxt}")
@@ -100,15 +165,119 @@ def parse_aiger(text: str, name: str = "aiger") -> AIG:
         if (lit & ~1) not in lit_map:
             raise NetlistError(f"output references unknown var {lit}")
         aig.add_output(map_lit(lit))
+    for lit in bad_lits:
+        if (lit & ~1) not in lit_map:
+            raise NetlistError(
+                f"bad-state property references unknown var {lit}")
+        aig.add_bad(map_lit(lit))
 
-    # Symbol table.
     ordered_inputs = [lit_map[lit] for lit in input_lits]
     ordered_latches = [lit_map[lit] for lit in (p[0] for p in latch_next)]
+    _apply_symbols(aig, symbols, ordered_inputs, ordered_latches)
+    return aig
+
+
+def _parse_binary(data: bytes, name: str) -> AIG:
+    """Parse binary AIGER bytes into an :class:`AIG`."""
+    end = data.find(b"\n")
+    if end < 0:
+        raise NetlistError("truncated binary AIGER header")
+    m, i, l, o, a, b, _, _, _ = \
+        _parse_header(data[:end].decode("ascii", "replace"))
+    if m != i + l + a:
+        raise NetlistError(
+            f"malformed binary AIGER header: M ({m}) must equal "
+            f"I + L + A ({i + l + a})")
+    pos = end + 1
+
+    def next_line() -> str:
+        nonlocal pos
+        nl = data.find(b"\n", pos)
+        if nl < 0:
+            raise NetlistError("truncated AIGER body")
+        line = data[pos:nl].decode("ascii", "replace")
+        pos = nl + 1
+        return line
+
+    aig = AIG(name)
+    # Binary AIGER numbers variables densely: inputs 1..I, latches
+    # I+1..I+L, ANDs above; inputs are implicit (no lines at all) and
+    # latch lines drop the latch literal.
+    lit_of: List[int] = [FALSE] * (m + 1)
+    for var in range(1, i + 1):
+        lit_of[var] = aig.add_input()
+    latch_next: List[int] = []
+    for k in range(l):
+        parts = next_line().split()
+        if not parts:
+            raise NetlistError("malformed binary AIGER latch line")
+        init = int(parts[1]) if len(parts) > 1 else 0
+        if init not in (0, 1):
+            raise NetlistError(
+                f"unsupported latch initial value {init} (only 0/1)")
+        lit_of[i + k + 1] = aig.add_latch(init)
+        latch_next.append(int(parts[0]))
+    output_lits = [int(next_line()) for _ in range(o)]
+    bad_lits = [int(next_line()) for _ in range(b)]
+
+    def read_delta() -> int:
+        nonlocal pos
+        value = 0
+        shift = 0
+        while True:
+            if pos >= len(data):
+                raise NetlistError(
+                    "truncated binary AIGER AND section")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+
+    def map_lit(aiger_lit: int) -> int:
+        var = aiger_lit >> 1
+        if var > m:
+            raise NetlistError(
+                f"literal {aiger_lit} exceeds maximum variable {m}")
+        return lit_of[var] ^ (aiger_lit & 1)
+
+    for k in range(a):
+        lhs = 2 * (i + l + k + 1)
+        delta0 = read_delta()
+        delta1 = read_delta()
+        rhs0 = lhs - delta0
+        rhs1 = rhs0 - delta1
+        if delta0 == 0 or rhs1 < 0:
+            raise NetlistError(
+                f"invalid delta encoding for AND {lhs}: "
+                f"rhs0={rhs0} rhs1={rhs1}")
+        lit_of[lhs >> 1] = aig.add_and(map_lit(rhs0), map_lit(rhs1))
+    # Latch next-state literals may reference AND variables, so they
+    # resolve only after the AND section.
+    for k, nxt in enumerate(latch_next):
+        aig.set_next(lit_of[i + k + 1], map_lit(nxt))
+    for lit in output_lits:
+        aig.add_output(map_lit(lit))
+    for lit in bad_lits:
+        aig.add_bad(map_lit(lit))
+
+    symbols = data[pos:].decode("ascii", "replace").splitlines()
+    ordered_inputs = [lit_of[var] for var in range(1, i + 1)]
+    ordered_latches = [lit_of[i + k + 1] for k in range(l)]
+    _apply_symbols(aig, symbols, ordered_inputs, ordered_latches)
+    return aig
+
+
+def _apply_symbols(aig: AIG, symbols: List[str],
+                   ordered_inputs: List[int],
+                   ordered_latches: List[int]) -> None:
+    """Apply ``i<k>/l<k>/o<k>/b<k> name`` symbol lines to ``aig``."""
     for line in symbols:
         if not line or line[0] == "c":
             break
         kind, _, rest = line.partition(" ")
-        if not rest or kind[0] not in "ilo" or not kind[1:].isdigit():
+        if not rest or kind[0] not in "ilob" or not kind[1:].isdigit():
             continue
         idx = int(kind[1:])
         if kind[0] == "i" and idx < len(ordered_inputs):
@@ -117,14 +286,17 @@ def parse_aiger(text: str, name: str = "aiger") -> AIG:
             aig.names[aig_node(ordered_latches[idx])] = rest
         elif kind[0] == "o" and idx < len(aig.outputs):
             aig.names.setdefault(aig_node(aig.outputs[idx]), rest)
-    return aig
+        elif kind[0] == "b" and idx < len(aig.bad):
+            aig.names.setdefault(aig_node(aig.bad[idx]), rest)
 
 
 def write_aiger(aig: AIG, comment: Optional[str] = None) -> str:
     """Serialize an :class:`AIG` to ASCII AIGER text.
 
     Nodes are renumbered into AIGER's canonical order (inputs, then
-    latches, then ANDs) so the output is maximally portable.
+    latches, then ANDs) so the output is maximally portable.  Bad-state
+    properties, when present, are written as an AIGER 1.9 ``B`` section
+    (files without them keep the plain five-count header).
     """
     var_of: Dict[int, int] = {0: 0}
     next_var = 1
@@ -143,8 +315,11 @@ def write_aiger(aig: AIG, comment: Optional[str] = None) -> str:
         return (var_of[aig_node(lit)] << 1) | (lit & 1)
 
     m = next_var - 1
-    lines = [f"aag {m} {len(aig.inputs)} {len(aig.latches)} "
-             f"{len(aig.outputs)} {len(and_nodes)}"]
+    header = (f"aag {m} {len(aig.inputs)} {len(aig.latches)} "
+              f"{len(aig.outputs)} {len(and_nodes)}")
+    if aig.bad:
+        header += f" {len(aig.bad)}"
+    lines = [header]
     for node in aig.inputs:
         lines.append(str(var_of[node] << 1))
     for node in aig.latches:
@@ -153,6 +328,8 @@ def write_aiger(aig: AIG, comment: Optional[str] = None) -> str:
         lines.append(f"{var_of[node] << 1} {out_lit(aig.next_of(node))}"
                      f"{suffix}")
     for lit in aig.outputs:
+        lines.append(str(out_lit(lit)))
+    for lit in aig.bad:
         lines.append(str(out_lit(lit)))
     for node in and_nodes:
         a, b = aig.fanins(node)
@@ -169,6 +346,9 @@ def write_aiger(aig: AIG, comment: Optional[str] = None) -> str:
     for idx, lit in enumerate(aig.outputs):
         if aig_node(lit) in aig.names:
             lines.append(f"o{idx} {aig.names[aig_node(lit)]}")
+    for idx, lit in enumerate(aig.bad):
+        if aig_node(lit) in aig.names:
+            lines.append(f"b{idx} {aig.names[aig_node(lit)]}")
     if comment:
         lines.append("c")
         lines.append(comment)

@@ -1,11 +1,34 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with two interchangeable cores.
 
 Implements the standard conflict-driven clause-learning architecture —
-two-watched-literal propagation, first-UIP conflict analysis with
-recursive clause minimization, VSIDS decision heuristics with phase
-saving, Luby restarts, and learnt-clause database reduction — in pure
-Python.  It is the reasoning engine behind SAT sweeping (Section 3.1),
-BMC, k-induction, and the recurrence-diameter computation.
+two-watched-literal propagation with blocker literals, first-UIP
+conflict analysis with recursive clause minimization, VSIDS decision
+heuristics with phase saving, Luby restarts, and learnt-clause database
+reduction — in pure Python.  It is the reasoning engine behind SAT
+sweeping (Section 3.1), BMC, k-induction, and the recurrence-diameter
+computation.
+
+Two cores share one search loop (:meth:`Solver._search`) and differ
+only in how the hot state is laid out:
+
+* :class:`FlatSolver` (the default) keeps clauses in a flat integer
+  *arena* with inline headers, watcher lists as flat interleaved
+  ``[clause-ref, blocker, ...]`` integer arrays, and plain integer
+  assignment/reason/level tables — no per-clause Python objects on the
+  hot path (see :mod:`repro.sat.flat`).
+* :class:`LegacySolver` keeps the original per-clause ``_Clause``
+  objects.  It exists as the independent reference implementation for
+  the randomized dual-path oracle suite: both cores execute the exact
+  same search (decision for decision), so verdicts, models, trails and
+  statistics must match *exactly* — any divergence is a bug in one of
+  the cores.
+
+The active core is selected at construction time by the
+``REPRO_FLAT_SOLVER`` environment variable (default: flat) or the
+scoped :func:`use_flat` / :func:`set_flat_enabled` toggles, mirroring
+the ``REPRO_FRAME_TEMPLATES`` switch of :mod:`repro.sat.template`;
+``Solver()`` transparently builds whichever core is enabled, and
+``isinstance(x, Solver)`` holds for both.
 
 Literals use the 0-based encoding of :mod:`repro.sat.cnf` (variable
 ``v`` gives positive literal ``2*v``, negative ``2*v + 1``).
@@ -14,7 +37,11 @@ Literals use the 0-based encoding of :mod:`repro.sat.cnf` (variable
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence
+import os
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
+    Tuple
 
 from .. import obs
 from ..resilience import Budget, Cancelled, EngineFailure, \
@@ -28,7 +55,110 @@ UNSAT = "unsat"
 UNKNOWN = "unknown"
 
 
+# ----------------------------------------------------------------------
+# Core-selection toggle (mirrors repro.sat.template's toggle shape)
+# ----------------------------------------------------------------------
+_FLAT_ENV = "REPRO_FLAT_SOLVER"
+_flat_enabled = os.environ.get(_FLAT_ENV, "1").strip().lower() \
+    not in ("0", "false", "off", "no")
+
+
+def flat_enabled() -> bool:
+    """Whether ``Solver()`` builds the flat-array core."""
+    return _flat_enabled
+
+
+def set_flat_enabled(enabled: bool) -> bool:
+    """Set the global core toggle; returns the previous value."""
+    global _flat_enabled
+    previous = _flat_enabled
+    _flat_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_flat(enabled: bool) -> Iterator[None]:
+    """Scoped override of the core toggle (A/B testing, the oracle)."""
+    previous = set_flat_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_flat_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Debug-checks toggle: watcher-integrity violations become loud
+# ----------------------------------------------------------------------
+_DEBUG_ENV = "REPRO_SAT_DEBUG"
+_debug_checks = os.environ.get(_DEBUG_ENV, "0").strip().lower() \
+    not in ("0", "false", "off", "no", "")
+
+
+def debug_checks_enabled() -> bool:
+    """Whether internal-consistency violations raise instead of pass."""
+    return _debug_checks
+
+
+def set_debug_checks(enabled: bool) -> bool:
+    """Set the debug-checks toggle; returns the previous value."""
+    global _debug_checks
+    previous = _debug_checks
+    _debug_checks = bool(enabled)
+    return previous
+
+
+# ----------------------------------------------------------------------
+# Search-time profiling toggle (the bench tool's time_split breakdown)
+# ----------------------------------------------------------------------
+_PROFILE_ENV = "REPRO_SAT_PROFILE"
+_profile_enabled = os.environ.get(_PROFILE_ENV, "0").strip().lower() \
+    not in ("0", "false", "off", "no", "")
+
+
+def profile_enabled() -> bool:
+    """Whether new solvers time propagation/analysis/decisions."""
+    return _profile_enabled
+
+
+def set_profile_enabled(enabled: bool) -> bool:
+    """Set the profiling toggle; returns the previous value.
+
+    Only affects solvers constructed afterwards.
+    """
+    global _profile_enabled
+    previous = _profile_enabled
+    _profile_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_sat_profile(enabled: bool) -> Iterator[None]:
+    """Scoped override of the profiling toggle (the bench tool)."""
+    previous = set_profile_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_profile_enabled(previous)
+
+
+#: Profiled search phases, in ``time_breakdown()`` key order.
+PROFILE_PHASES = ("propagate", "analyze", "decide")
+
+
+def _timed(fn, acc: Dict[str, float], key: str):
+    """Wrap ``fn`` to accumulate its wall time into ``acc[key]``."""
+    def wrapper(*args):
+        t0 = perf_counter()
+        try:
+            return fn(*args)
+        finally:
+            acc[key] += perf_counter() - t0
+    return wrapper
+
+
 class _Clause:
+    """A clause of the legacy object core."""
+
     __slots__ = ("lits", "learnt", "activity")
 
     def __init__(self, lits: List[int], learnt: bool) -> None:
@@ -38,22 +168,33 @@ class _Clause:
 
 
 class Solver:
-    """An incremental CDCL SAT solver with assumption support."""
+    """An incremental CDCL SAT solver with assumption support.
+
+    ``Solver()`` is a facade: it constructs the flat-array core
+    (:class:`FlatSolver`) or the legacy object core
+    (:class:`LegacySolver`) depending on the :func:`use_flat` toggle.
+    This base class carries everything core-independent — the search
+    control loop, budget governance, statistics, and the normalising
+    slow-path clause loader — while the cores implement the data-layout
+    primitives (propagation, analysis, attach/detach, VSIDS tables).
+    """
+
+    def __new__(cls, *args, **kwargs):
+        if cls is Solver:
+            from .flat import FlatSolver
+            cls = FlatSolver if _flat_enabled else LegacySolver
+        return object.__new__(cls)
 
     def __init__(self) -> None:
         self.num_vars = 0
-        self._clauses: List[_Clause] = []
-        self._learnts: List[_Clause] = []
-        self._watches: List[List[_Clause]] = []
-        self._assign: List[Optional[bool]] = []
-        self._level: List[int] = []
-        self._reason: List[Optional[_Clause]] = []
-        self._polarity: List[bool] = []
+        #: Shared across cores: activity table, lazy-deletion binary
+        #: heap of ``(-activity, var)`` entries, trail of literals,
+        #: decision-level marks.
         self._activity: List[float] = []
+        self._heap: List[tuple] = []
         self._trail: List[int] = []
         self._trail_lim: List[int] = []
         self._qhead = 0
-        self._heap: List[tuple] = []
         self._var_inc = 1.0
         self._var_decay = 0.95
         self._cla_inc = 1.0
@@ -81,6 +222,12 @@ class Solver:
         #: the call was conclusive (or inconclusive for a non-resource
         #: reason, e.g. an injected spurious unknown).
         self.last_exhaustion: Optional[str] = None
+        #: Lifetime seconds spent in each search phase, or None when
+        #: profiling was off at construction (the default — the hot
+        #: path then carries no timing overhead at all).
+        self._profile: Optional[Dict[str, float]] = \
+            {phase: 0.0 for phase in PROFILE_PHASES} \
+            if _profile_enabled else None
 
     def stats(self) -> Dict[str, int]:
         """A snapshot of the lifetime statistic totals."""
@@ -91,45 +238,15 @@ class Solver:
             "restarts": self.restarts,
         }
 
+    def time_breakdown(self) -> Optional[Dict[str, float]]:
+        """Lifetime seconds per search phase (propagate / analyze /
+        decide), or None when profiling was off at construction."""
+        return dict(self._profile) if self._profile is not None \
+            else None
+
     # ------------------------------------------------------------------
-    # Problem construction
+    # Problem construction (core-independent slow paths)
     # ------------------------------------------------------------------
-    def new_var(self) -> int:
-        """Allocate and return a fresh variable."""
-        var = self.num_vars
-        self.num_vars += 1
-        self._watches.append([])
-        self._watches.append([])
-        self._assign.append(None)
-        self._level.append(0)
-        self._reason.append(None)
-        self._polarity.append(False)
-        self._activity.append(0.0)
-        heapq.heappush(self._heap, (0.0, var))
-        return var
-
-    def new_vars(self, n: int) -> int:
-        """Allocate ``n`` fresh variables at once; returns the first.
-
-        State-identical to ``n`` :meth:`new_var` calls (same side
-        tables, same heap entries in the same order) — the template
-        stamping fast path uses it to skip per-variable call overhead.
-        """
-        base = self.num_vars
-        if n <= 0:
-            return base
-        self.num_vars = base + n
-        self._watches.extend([] for _ in range(2 * n))
-        self._assign.extend([None] * n)
-        self._level.extend([0] * n)
-        self._reason.extend([None] * n)
-        self._polarity.extend([False] * n)
-        self._activity.extend([0.0] * n)
-        heap = self._heap
-        for var in range(base, base + n):
-            heapq.heappush(heap, (0.0, var))
-        return base
-
     def _ensure_var(self, var: int) -> None:
         while self.num_vars <= var:
             self.new_var()
@@ -161,90 +278,45 @@ class Solver:
             self._ok = False
             return False
         if len(clause) == 1:
-            if not self._enqueue(clause[0], None):
+            if not self._enqueue(clause[0]):
                 self._ok = False
                 return False
             self._ok = self._propagate() is None
             return self._ok
-        c = _Clause(clause, learnt=False)
-        self._clauses.append(c)
-        self._attach(c)
-        return True
-
-    def add_clauses_bulk(self, clauses: Iterable[List[int]]) -> bool:
-        """Bulk-load pre-validated clauses, skipping normalisation.
-
-        The fast path behind template stamping
-        (:mod:`repro.sat.template`).  Caller contract, per clause:
-
-        * at least two literals, over already-allocated variables;
-        * pairwise-distinct variables (no duplicate literals, no
-          tautologies);
-        * the solver takes ownership of each literal list (watched-
-          literal reordering mutates it in place — never reuse one).
-
-        A clause whose variables are all unassigned at decision level
-        0 is constructed and watch-attached directly; a clause touching
-        a level-0-assigned variable gets the satisfied-clause/
-        falsified-literal normalisation of :meth:`add_clause` applied
-        inline (the distinct-variables contract rules out the
-        duplicate/tautology cases, and the rare empty/unit outcomes
-        are delegated back to :meth:`add_clause`) — this keeps the
-        resulting clause database identical to adding every clause
-        individually.  Returns False if the formula became trivially
-        UNSAT.
-        """
-        if not self._ok:
-            return False
-        self._cancel_until(0)
-        assign = self._assign
-        watches = self._watches
-        out = self._clauses
-        append = out.append
-        slow = self.add_clause
-        for lits in clauses:
-            for lit in lits:
-                if assign[lit >> 1] is not None:
-                    break
-            else:
-                clause = _Clause(lits, False)
-                append(clause)
-                watches[lits[0] ^ 1].append(clause)
-                watches[lits[1] ^ 1].append(clause)
-                continue
-            # Level-0 normalisation, inline.  ``v != (lit & 1)`` is
-            # "literal true" (bool compares equal to int): keep
-            # unassigned literals, drop falsified ones, skip the
-            # clause on a satisfied one — exactly add_clause's rules
-            # minus the duplicate/tautology checks the caller contract
-            # makes unreachable.
-            keep = []
-            kappend = keep.append
-            sat = False
-            for lit in lits:
-                v = assign[lit >> 1]
-                if v is None:
-                    kappend(lit)
-                elif v != (lit & 1):
-                    sat = True
-                    break
-            if sat:
-                continue
-            if len(keep) >= 2:
-                clause = _Clause(keep, False)
-                append(clause)
-                watches[keep[0] ^ 1].append(clause)
-                watches[keep[1] ^ 1].append(clause)
-            elif not slow(keep):  # empty or unit: rare, delegate
-                return False
+        self._store_problem_clause(clause)
         return True
 
     def add_cnf(self, cnf: CNF) -> bool:
-        """Load all clauses of a :class:`~repro.sat.cnf.CNF`."""
-        self._ensure_var(cnf.num_vars - 1) if cnf.num_vars else None
+        """Load all clauses of a :class:`~repro.sat.cnf.CNF`.
+
+        Pre-validated clauses — at least two literals over pairwise
+        distinct variables (no duplicate literals, no tautologies) —
+        are routed through the :meth:`add_clauses_bulk` fast path in
+        maximal runs; anything else (units, empties, duplicates,
+        tautologies) takes the normalising :meth:`add_clause` slow
+        path at its original stream position, so the resulting solver
+        state is element-wise identical to loading every clause
+        individually.
+        """
+        if cnf.num_vars:
+            self._ensure_var(cnf.num_vars - 1)
+        batch: List[List[int]] = []
         for clause in cnf.clauses:
+            if len(clause) >= 2 and \
+                    len({lit >> 1 for lit in clause}) == len(clause):
+                # Bulk-eligible; the bulk loader re-checks level-0
+                # assignments per clause, so interleaved units are
+                # still normalised correctly.
+                batch.append(list(clause))
+                continue
+            if batch:
+                if not self.add_clauses_bulk(batch):
+                    return False
+                batch = []
             if not self.add_clause(clause):
                 return False
+        if batch:
+            return self.add_clauses_bulk(batch)
         return True
 
     # ------------------------------------------------------------------
@@ -293,6 +365,8 @@ class Solver:
         self.model = []  # never expose a stale assignment (see above)
         before = (self.conflicts, self.decisions, self.propagations,
                   self.restarts)
+        profile_before = dict(self._profile) \
+            if self._profile is not None else None
         reg = obs.get_registry()
         with reg.span("sat.solve"):
             result = self._solve_governed(assumptions, conflict_budget,
@@ -309,6 +383,12 @@ class Solver:
         for key, value in delta.items():
             if value:
                 reg.counter(f"sat.{key}", value)
+        if profile_before is not None:
+            for phase in PROFILE_PHASES:
+                ns = int((self._profile[phase]
+                          - profile_before[phase]) * 1e9)
+                if ns:
+                    reg.counter(f"sat.{phase}_ns", ns)
         return result
 
     def _solve_governed(
@@ -358,10 +438,26 @@ class Solver:
         conflict_budget: Optional[int],
         budget: Optional[Budget] = None,
     ) -> str:
+        """The CDCL control loop, shared verbatim by both cores.
+
+        Only data-layout primitives (``_propagate``, ``_analyze``,
+        ``_pick_branch``, ...) are core-specific; keeping the loop
+        itself in one place is what makes the dual-path oracle's
+        exact-equivalence contract (identical decisions, conflicts,
+        models, trails) hold by construction.
+        """
         if not self._ok:
             return UNSAT
         self._cancel_until(0)
-        if self._propagate() is not None:
+        propagate = self._propagate
+        analyze = self._analyze
+        pick_branch = self._pick_branch
+        if self._profile is not None:
+            acc = self._profile
+            propagate = _timed(propagate, acc, "propagate")
+            analyze = _timed(analyze, acc, "analyze")
+            pick_branch = _timed(pick_branch, acc, "decide")
+        if propagate() is not None:
             self._ok = False
             return UNSAT
         assumptions = list(assumptions)
@@ -371,14 +467,14 @@ class Solver:
         conflicts_here = 0
         max_learnts = max(1000, 2 * len(self._clauses))
         while True:
-            conflict = self._propagate()
+            conflict = propagate()
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_here += 1
                 if self._decision_level() == 0:
                     self._ok = False
                     return UNSAT
-                learnt, back_level = self._analyze(conflict)
+                learnt, back_level = analyze(conflict)
                 # Backtracking may unwind assumption levels; the decision
                 # loop below re-applies them (and reports UNSAT if one
                 # has become falsified by learned clauses).
@@ -423,9 +519,9 @@ class Solver:
                 if val is False:
                     return UNSAT
                 self._trail_lim.append(len(self._trail))
-                self._enqueue(lit, None)
+                self._enqueue(lit)
                 continue
-            lit = self._pick_branch()
+            lit = pick_branch()
             if lit is None:
                 self.model = [bool(v) for v in self._assign]
                 self._cancel_until(0)
@@ -437,7 +533,7 @@ class Solver:
                     and self._budget_stop(budget) is not None:
                 return UNKNOWN
             self._trail_lim.append(len(self._trail))
-            self._enqueue(lit, None)
+            self._enqueue(lit)
 
     def value(self, var: int) -> bool:
         """Value of ``var`` in the last model.
@@ -448,6 +544,215 @@ class Solver:
         return self.model[var]
 
     # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _bump_var(self, var: int) -> None:
+        act = self._activity
+        act[var] += self._var_inc
+        if act[var] > 1e100:
+            for v in range(self.num_vars):
+                act[v] *= 1e-100
+            self._var_inc *= 1e-100
+            # Rescaling invalidates every key already sitting in the
+            # lazy-deletion heap (they carry the un-rescaled
+            # magnitudes, so _pick_branch would pop in stale priority
+            # order for the rest of the run).  Rebuild the heap from
+            # the *current* activities of its member variables.
+            heap = [(-act[v], v)
+                    for v in sorted({v for _, v in self._heap})]
+            heapq.heapify(heap)
+            self._heap = heap
+        heapq.heappush(self._heap, (-act[var], var))
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+        self._cla_inc /= 0.999
+
+    @staticmethod
+    def _luby(i: int) -> int:
+        """The Luby restart sequence 1,1,2,1,1,2,4,... (1-based index).
+
+        MiniSat's formulation: find the finite subsequence containing
+        index ``i`` and its position within it.
+        """
+        if i < 1:
+            raise ValueError("the Luby sequence is 1-based")
+        x = i - 1
+        size, seq = 1, 0
+        while size < x + 1:
+            seq += 1
+            size = 2 * size + 1
+        while size - 1 != x:
+            size = (size - 1) >> 1
+            seq -= 1
+            x %= size
+        return 1 << seq
+
+    # ------------------------------------------------------------------
+    # Introspection (stable across cores; tests and the oracle use
+    # these instead of poking core-specific internals)
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """False once the formula is known trivially UNSAT."""
+        return self._ok
+
+    def trail_lits(self) -> List[int]:
+        """The current assignment trail, as literals in enqueue order."""
+        return list(self._trail)
+
+    def clause_lits(self) -> List[Tuple[int, ...]]:
+        """Problem clauses in insertion order (current literal order)."""
+        raise NotImplementedError
+
+    def learnt_lits(self) -> List[Tuple[int, ...]]:
+        """Learnt clauses currently in the database."""
+        raise NotImplementedError
+
+    def assignment(self) -> List[Optional[bool]]:
+        """Per-variable values (None = unassigned)."""
+        raise NotImplementedError
+
+
+class LegacySolver(Solver):
+    """The original object-based core: one ``_Clause`` per clause,
+    watcher lists of ``(clause, blocker)`` pairs.
+
+    Kept as the reference implementation behind the dual-path oracle
+    (see the module docstring); construct it directly or via
+    ``use_flat(False)``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clauses: List[_Clause] = []
+        self._learnts: List[_Clause] = []
+        #: Watcher lists, indexed by falsified literal; entries are
+        #: ``(clause, blocker)`` where ``blocker`` is some literal of
+        #: the clause (usually the other watch) whose truth proves the
+        #: clause satisfied without touching it.
+        self._watches: List[List[tuple]] = []
+        self._assign: List[Optional[bool]] = []
+        self._level: List[int] = []
+        self._reason: List[Optional[_Clause]] = []
+        self._polarity: List[bool] = []
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        var = self.num_vars
+        self.num_vars += 1
+        self._watches.append([])
+        self._watches.append([])
+        self._assign.append(None)
+        self._level.append(0)
+        self._reason.append(None)
+        self._polarity.append(False)
+        self._activity.append(0.0)
+        heapq.heappush(self._heap, (0.0, var))
+        return var
+
+    def new_vars(self, n: int) -> int:
+        """Allocate ``n`` fresh variables at once; returns the first.
+
+        State-identical to ``n`` :meth:`new_var` calls (same side
+        tables, same heap entries in the same order) — the template
+        stamping fast path uses it to skip per-variable call overhead.
+        """
+        base = self.num_vars
+        if n <= 0:
+            return base
+        self.num_vars = base + n
+        self._watches.extend([] for _ in range(2 * n))
+        self._assign.extend([None] * n)
+        self._level.extend([0] * n)
+        self._reason.extend([None] * n)
+        self._polarity.extend([False] * n)
+        self._activity.extend([0.0] * n)
+        heap = self._heap
+        for var in range(base, base + n):
+            heapq.heappush(heap, (0.0, var))
+        return base
+
+    def _store_problem_clause(self, clause: List[int]) -> None:
+        c = _Clause(clause, learnt=False)
+        self._clauses.append(c)
+        self._attach(c)
+
+    def add_clauses_bulk(self, clauses: Iterable[List[int]]) -> bool:
+        """Bulk-load pre-validated clauses, skipping normalisation.
+
+        The fast path behind template stamping
+        (:mod:`repro.sat.template`).  Caller contract, per clause:
+
+        * at least two literals, over already-allocated variables;
+        * pairwise-distinct variables (no duplicate literals, no
+          tautologies);
+        * the solver takes ownership of each literal list (watched-
+          literal reordering mutates it in place — never reuse one).
+
+        A clause whose variables are all unassigned at decision level
+        0 is constructed and watch-attached directly; a clause touching
+        a level-0-assigned variable gets the satisfied-clause/
+        falsified-literal normalisation of :meth:`add_clause` applied
+        inline (the distinct-variables contract rules out the
+        duplicate/tautology cases, and the rare empty/unit outcomes
+        are delegated back to :meth:`add_clause`) — this keeps the
+        resulting clause database identical to adding every clause
+        individually.  Returns False if the formula became trivially
+        UNSAT.
+        """
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        assign = self._assign
+        watches = self._watches
+        out = self._clauses
+        append = out.append
+        slow = self.add_clause
+        for lits in clauses:
+            for lit in lits:
+                if assign[lit >> 1] is not None:
+                    break
+            else:
+                clause = _Clause(lits, False)
+                append(clause)
+                watches[lits[0] ^ 1].append((clause, lits[1]))
+                watches[lits[1] ^ 1].append((clause, lits[0]))
+                continue
+            # Level-0 normalisation, inline.  ``v != (lit & 1)`` is
+            # "literal true" (bool compares equal to int): keep
+            # unassigned literals, drop falsified ones, skip the
+            # clause on a satisfied one — exactly add_clause's rules
+            # minus the duplicate/tautology checks the caller contract
+            # makes unreachable.
+            keep = []
+            kappend = keep.append
+            sat = False
+            for lit in lits:
+                v = assign[lit >> 1]
+                if v is None:
+                    kappend(lit)
+                elif v != (lit & 1):
+                    sat = True
+                    break
+            if sat:
+                continue
+            if len(keep) >= 2:
+                clause = _Clause(keep, False)
+                append(clause)
+                watches[keep[0] ^ 1].append((clause, keep[1]))
+                watches[keep[1] ^ 1].append((clause, keep[0]))
+            elif not slow(keep):  # empty or unit: rare, delegate
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _value(self, lit: int) -> Optional[bool]:
@@ -456,14 +761,12 @@ class Solver:
             return None
         return (not v) if lit_sign(lit) else v
 
-    def _decision_level(self) -> int:
-        return len(self._trail_lim)
-
     def _attach(self, clause: _Clause) -> None:
-        self._watches[lit_not(clause.lits[0])].append(clause)
-        self._watches[lit_not(clause.lits[1])].append(clause)
+        lits = clause.lits
+        self._watches[lits[0] ^ 1].append((clause, lits[1]))
+        self._watches[lits[1] ^ 1].append((clause, lits[0]))
 
-    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> bool:
+    def _enqueue(self, lit: int, reason: Optional[_Clause] = None) -> bool:
         val = self._value(lit)
         if val is not None:
             return val
@@ -481,20 +784,29 @@ class Solver:
             self._qhead += 1
             self.propagations += 1
             watchers = self._watches[lit]
+            assign = self._assign
             i = 0
             j = 0
             n = len(watchers)
+            false_lit = lit ^ 1
             while i < n:
-                clause = watchers[i]
+                clause, blocker = watchers[i]
                 i += 1
+                # Blocker fast path: some literal of the clause is
+                # already true, so the clause is satisfied and need
+                # not be loaded at all.  (True == 1, so the comparison
+                # is one int op; None compares unequal to both.)
+                if assign[blocker >> 1] == (blocker & 1) ^ 1:
+                    watchers[j] = (clause, blocker)
+                    j += 1
+                    continue
                 lits = clause.lits
                 # Ensure the falsified literal is in slot 1.
-                false_lit = lit_not(lit)
                 if lits[0] == false_lit:
                     lits[0], lits[1] = lits[1], lits[0]
                 first = lits[0]
                 if self._value(first) is True:
-                    watchers[j] = clause
+                    watchers[j] = (clause, first)
                     j += 1
                     continue
                 # Search for a new watch.
@@ -502,13 +814,13 @@ class Solver:
                 for k in range(2, len(lits)):
                     if self._value(lits[k]) is not False:
                         lits[1], lits[k] = lits[k], lits[1]
-                        self._watches[lit_not(lits[1])].append(clause)
+                        self._watches[lits[1] ^ 1].append((clause, first))
                         found = True
                         break
                 if found:
                     continue
                 # Unit or conflicting.
-                watchers[j] = clause
+                watchers[j] = (clause, first)
                 j += 1
                 if self._value(first) is False:
                     # Conflict: keep remaining watchers, reset queue.
@@ -627,35 +939,26 @@ class Solver:
                 return (var << 1) | (0 if self._polarity[var] else 1)
         return None
 
-    def _bump_var(self, var: int) -> None:
-        self._activity[var] += self._var_inc
-        if self._activity[var] > 1e100:
-            for v in range(self.num_vars):
-                self._activity[v] *= 1e-100
-            self._var_inc *= 1e-100
-        heapq.heappush(self._heap, (-self._activity[var], var))
-
     def _bump_clause(self, clause: _Clause) -> None:
         if clause.learnt:
             clause.activity += self._cla_inc
 
-    def _decay_activities(self) -> None:
-        self._var_inc /= self._var_decay
-        self._cla_inc /= 0.999
-
     def _reduce_db(self) -> None:
-        locked = set()
-        for var in range(self.num_vars):
-            reason = self._reason[var]
-            if reason is not None and reason.learnt:
-                locked.add(id(reason))
-        self._learnts.sort(key=lambda c: c.activity)
-        keep_from = len(self._learnts) // 2
+        # A learnt clause is *locked* (must be kept) while it is the
+        # reason of its asserting literal's variable; reasons always
+        # store that literal in slot 0, so lock detection is one table
+        # probe per clause — no scan over all variables, no id()-keyed
+        # side set.
+        learnts = self._learnts
+        learnts.sort(key=lambda c: c.activity)
+        keep_from = len(learnts) // 2
+        reason = self._reason
         removed = []
         kept = []
-        for i, clause in enumerate(self._learnts):
-            if i < keep_from and id(clause) not in locked \
-                    and len(clause.lits) > 2:
+        for i, clause in enumerate(learnts):
+            lits = clause.lits
+            if i < keep_from and len(lits) > 2 \
+                    and reason[lits[0] >> 1] is not clause:
                 removed.append(clause)
             else:
                 kept.append(clause)
@@ -665,28 +968,35 @@ class Solver:
 
     def _detach(self, clause: _Clause) -> None:
         for lit in (clause.lits[0], clause.lits[1]):
-            watchers = self._watches[lit_not(lit)]
-            try:
-                watchers.remove(clause)
-            except ValueError:
-                pass
+            watchers = self._watches[lit ^ 1]
+            for idx in range(len(watchers)):
+                if watchers[idx][0] is clause:
+                    del watchers[idx]
+                    break
+            else:
+                # A detach miss means the watcher lists no longer
+                # agree with the clause's watched literals — real
+                # corruption that a silent pass would mask.
+                if _debug_checks:
+                    raise RuntimeError(
+                        "watcher corruption: clause "
+                        f"{tuple(clause.lits)} missing from the watch "
+                        f"list of literal {lit ^ 1}")
 
-    @staticmethod
-    def _luby(i: int) -> int:
-        """The Luby restart sequence 1,1,2,1,1,2,4,... (1-based index).
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clause_lits(self) -> List[Tuple[int, ...]]:
+        return [tuple(c.lits) for c in self._clauses]
 
-        MiniSat's formulation: find the finite subsequence containing
-        index ``i`` and its position within it.
-        """
-        if i < 1:
-            raise ValueError("the Luby sequence is 1-based")
-        x = i - 1
-        size, seq = 1, 0
-        while size < x + 1:
-            seq += 1
-            size = 2 * size + 1
-        while size - 1 != x:
-            size = (size - 1) >> 1
-            seq -= 1
-            x %= size
-        return 1 << seq
+    def learnt_lits(self) -> List[Tuple[int, ...]]:
+        return [tuple(c.lits) for c in self._learnts]
+
+    def assignment(self) -> List[Optional[bool]]:
+        return list(self._assign)
+
+
+# The flat core lives in its own module; imported last so it can extend
+# the Solver base defined above (the facade dispatches lazily, so this
+# import is only a convenience re-export).
+from .flat import FlatSolver  # noqa: E402  (circular-safe tail import)

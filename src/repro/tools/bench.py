@@ -14,8 +14,11 @@ timing frame *encoding* on the largest profile three ways — direct
 ``encode_frame``, template cold (includes the one-off compile), and
 template warm — whose ``encode_speedup`` figure is the headline number
 of the compiled-frame-template work, plus a ``time_split`` giving the
-total encode-vs-solve seconds across the whole run.  ``<rev>``
-defaults to the current git short hash (``dev`` outside a checkout).
+total encode-vs-solve seconds across the whole run and — since the
+flat-solver work — the solve side broken down into propagation,
+decision and conflict-analysis seconds (the run enables the solver's
+search-phase profiling).  ``<rev>`` defaults to the current git short
+hash (``dev`` outside a checkout).
 
 Every optimisation PR reruns this and commits the new artifact next to
 ``benchmarks/BENCH_seed.json``; comparing the ``timers`` sections of
@@ -43,6 +46,7 @@ from ..experiments.runner import PIPELINES, evaluate_design
 from ..gen import iscas89
 from ..netlist import s27
 from ..resilience import Budget, FaultPlan, inject
+from ..sat.solver import PROFILE_PHASES, use_sat_profile
 from ..sat.template import clear_template_cache, use_templates
 from ..unroll import Unrolling, bmc, k_induction
 
@@ -152,27 +156,42 @@ def _encode_section(reg: obs.Registry, design: str, frames: int,
     }
 
 
-def _time_split(timers: Dict[str, Dict[str, float]]) -> Dict[str, Any]:
-    """Aggregate encode-vs-solve seconds from a timer snapshot.
+def _time_split(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Aggregate encode-vs-solve seconds from a registry snapshot.
 
     Encoding is everything recorded under a leaf ``encode`` span plus
     the one-off ``encode.compile`` spans (template compilation —
     emitted outside ``encode`` spans by construction, so nothing is
-    double-counted); solving is the ``sat.solve`` leaves.
+    double-counted); solving is the ``sat.solve`` leaves.  The solve
+    side is further broken down from the solver's own search-phase
+    profiling (the ``sat.propagate_ns``/``sat.decide_ns``/
+    ``sat.analyze_ns`` counters, published because the bench run
+    enables :func:`repro.sat.use_sat_profile`): seconds spent in
+    unit propagation, decision picking and conflict analysis, with
+    the remainder (restart bookkeeping, learnt recording, DB
+    reduction, the control loop itself) as ``solve_other_seconds``.
     """
     encode = solve = 0.0
-    for path, stat in timers.items():
+    for path, stat in snapshot["timers"].items():
         leaf = path.rsplit("/", 1)[-1]
         if leaf in ("encode", "encode.compile"):
             encode += stat["total_s"]
         elif leaf == "sat.solve":
             solve += stat["total_s"]
     total = encode + solve
-    return {
+    counters = snapshot["counters"]
+    split: Dict[str, Any] = {
         "encode_seconds": encode,
         "solve_seconds": solve,
         "encode_fraction": encode / total if total else None,
     }
+    phases = 0.0
+    for phase in PROFILE_PHASES:
+        seconds = counters.get(f"sat.{phase}_ns", 0) / 1e9
+        split[f"solve_{phase}_seconds"] = seconds
+        phases += seconds
+    split["solve_other_seconds"] = max(0.0, solve - phases)
+    return split
 
 
 def run_workload(reg: obs.Registry,
@@ -337,8 +356,11 @@ def run_bench(rev: str, timeout: float = 0,
     budget = Budget(wall_seconds=timeout, name="bench") \
         if timeout else None
     with obs.scoped(obs.Registry(f"bench-{rev}")) as reg:
-        sections = run_workload(reg, budget=budget, jobs=jobs,
-                                profile=profile)
+        # Search-phase profiling feeds the time_split breakdown; the
+        # toggle applies to every solver the workload constructs.
+        with use_sat_profile(True):
+            sections = run_workload(reg, budget=budget, jobs=jobs,
+                                    profile=profile)
         snapshot = reg.snapshot()
     solver_keys = ("sat.conflicts", "sat.decisions", "sat.propagations",
                    "sat.restarts", "sat.solve_calls")
@@ -360,7 +382,7 @@ def run_bench(rev: str, timeout: float = 0,
                      "scale": cfg["scale"],
                      "profile": profile},
         "sections": sections,
-        "time_split": _time_split(snapshot["timers"]),
+        "time_split": _time_split(snapshot),
         "solver": {key: snapshot["counters"].get(key, 0)
                    for key in solver_keys},
         "resilience": {key: value for key, value
@@ -417,6 +439,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     split = artifact["time_split"]
     lines.append(f"  time split: encode {split['encode_seconds']:.3f} s"
                  f" / solve {split['solve_seconds']:.3f} s")
+    lines.append(
+        "  solve split: "
+        f"propagate {split['solve_propagate_seconds']:.3f} s / "
+        f"decide {split['solve_decide_seconds']:.3f} s / "
+        f"analyze {split['solve_analyze_seconds']:.3f} s / "
+        f"other {split['solve_other_seconds']:.3f} s")
     print("\n".join(lines))
     return 0
 

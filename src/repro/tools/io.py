@@ -1,7 +1,7 @@
 """Shared netlist-file loading/saving for the command-line tools.
 
-Formats are selected by extension: ``.bench`` (ISCAS89) and ``.aag``
-(ASCII AIGER).
+Formats are selected by extension: ``.bench`` (ISCAS89), ``.aag``
+(ASCII AIGER), ``.aig`` (binary AIGER) and ``.blif``.
 """
 
 from __future__ import annotations
@@ -24,9 +24,16 @@ from ..netlist import (
 
 
 def load_netlist(path: str) -> Netlist:
-    """Load a netlist from a ``.bench`` or ``.aag`` file."""
+    """Load a netlist from a ``.bench``, ``.aag``, ``.aig`` or
+    ``.blif`` file."""
     name = os.path.splitext(os.path.basename(path))[0]
     ext = os.path.splitext(path)[1].lower()
+    if ext == ".aig":
+        # Binary AIGER is not text; hand the raw bytes to the parser.
+        with open(path, "rb") as handle:
+            net, _ = aig_to_netlist(parse_aiger(handle.read(),
+                                                name=name))
+            return net
     with open(path) as handle:
         text = handle.read()
     if ext == ".bench":
@@ -37,7 +44,7 @@ def load_netlist(path: str) -> Netlist:
     if ext == ".blif":
         return parse_blif(text, name=name)
     raise NetlistError(f"unsupported netlist format: {path!r} "
-                       f"(expected .bench, .blif or .aag)")
+                       f"(expected .bench, .blif, .aag or .aig)")
 
 
 def save_netlist(net: Netlist, path: str) -> None:

@@ -164,7 +164,12 @@ def _seconds_metrics(artifact: Dict[str, Any]) -> Dict[str, float]:
         if isinstance(seconds, (int, float)):
             metrics[f"sections.{name}.seconds"] = float(seconds)
     split = artifact.get("time_split", {})
-    for key in ("encode_seconds", "solve_seconds"):
+    # The solve_* breakdown keys exist only in artifacts produced
+    # since the flat-solver work; compare_artifacts skips metrics
+    # missing from either side, so older baselines stay comparable.
+    for key in ("encode_seconds", "solve_seconds",
+                "solve_propagate_seconds", "solve_decide_seconds",
+                "solve_analyze_seconds", "solve_other_seconds"):
         value = split.get(key)
         if isinstance(value, (int, float)):
             metrics[f"time_split.{key}"] = float(value)

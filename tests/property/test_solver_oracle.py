@@ -1,0 +1,254 @@
+"""Randomized dual-path oracle for the two solver cores.
+
+The flat-array core (:class:`~repro.sat.FlatSolver`) and the legacy
+object core (:class:`~repro.sat.LegacySolver`) share one search loop
+and must execute it *identically* — decision for decision.  So this
+suite does not settle for "same verdict": on every random instance it
+asserts equal verdicts, equal models, equal final trails, and equal
+``stats()`` counters across the cores, cross-checked against a
+brute-force enumerator where feasible.
+
+Instance shapes mirror real callers: one-shot random 3-CNF, the
+incremental clause-add/solve interleave of SAT sweeping, and the
+assumption-sequence shape of BMC/k-induction.  Slow, larger cases are
+marked ``bench``.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import (
+    SAT,
+    UNSAT,
+    FlatSolver,
+    LegacySolver,
+    Solver,
+    use_flat,
+)
+
+
+def random_clauses(rng, num_vars, num_clauses, width=3):
+    clauses = []
+    for _ in range(num_clauses):
+        w = rng.randint(1, width)
+        vs = rng.sample(range(num_vars), min(w, num_vars))
+        clauses.append([2 * v + (rng.random() < 0.5) for v in vs])
+    return clauses
+
+
+def brute_force_sat(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(any(bits[l >> 1] != (l & 1 == 1) for l in c)
+               for c in clauses):
+            return True
+    return False
+
+
+def check_model(model, clauses):
+    for clause in clauses:
+        assert any(model[l >> 1] != (l & 1 == 1) for l in clause)
+
+
+def observe(solver):
+    """Everything the oracle compares after each solve() call."""
+    return (list(solver.model), solver.trail_lits(), solver.ok,
+            solver.stats(), dict(solver.last_call_stats),
+            solver.last_exhaustion)
+
+
+def run_script(core, num_vars, script):
+    """Run an (op, payload) script through a fresh core; returns the
+    observation sequence."""
+    solver = core()
+    solver.new_vars(num_vars)
+    out = []
+    for op, payload in script:
+        if op == "add":
+            out.append(solver.add_clause(list(payload)))
+        elif op == "solve":
+            result = solver.solve(list(payload))
+            out.append((result,) + observe(solver))
+        else:  # pragma: no cover
+            raise AssertionError(op)
+    return out
+
+
+class TestOneShotEquivalence:
+    def test_random_3sat_cores_agree_exactly(self):
+        rng = random.Random(0xC0FFEE)
+        for trial in range(60):
+            nv = rng.randint(3, 10)
+            clauses = random_clauses(rng, nv, rng.randint(2, 4 * nv))
+            script = [("add", c) for c in clauses] + [("solve", ())]
+            legacy = run_script(LegacySolver, nv, script)
+            flat = run_script(FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}: {clauses}"
+            result = flat[-1][0]
+            expected = brute_force_sat(nv, clauses)
+            assert result == (SAT if expected else UNSAT), \
+                f"trial {trial}: {clauses}"
+            if result == SAT:
+                check_model(flat[-1][1], clauses)
+
+    def test_clause_database_evolution_matches(self):
+        # Learnt clauses are part of the search state; a hard UNSAT
+        # instance (pigeonhole) must leave identical databases.
+        def php(core, pigeons, holes):
+            s = core()
+            var = {(p, h): s.new_var() for p in range(pigeons)
+                   for h in range(holes)}
+            for p in range(pigeons):
+                s.add_clause([2 * var[p, h] for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        s.add_clause([2 * var[p1, h] + 1,
+                                      2 * var[p2, h] + 1])
+            result = s.solve()
+            return (result, s.clause_lits(), s.learnt_lits(),
+                    s.stats())
+
+        legacy = php(LegacySolver, 5, 4)
+        flat = php(FlatSolver, 5, 4)
+        assert legacy[0] == UNSAT
+        assert legacy == flat
+
+
+class TestIncrementalEquivalence:
+    def test_interleaved_adds_and_solves(self):
+        # The SAT-sweeping shape: grow the formula between calls.
+        rng = random.Random(17)
+        for trial in range(25):
+            nv = rng.randint(4, 9)
+            script = []
+            for _ in range(rng.randint(2, 4)):
+                for c in random_clauses(rng, nv, rng.randint(1, nv)):
+                    script.append(("add", c))
+                script.append(("solve", ()))
+            legacy = run_script(LegacySolver, nv, script)
+            flat = run_script(FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}: {script}"
+
+    def test_assumption_sequences(self):
+        # The BMC/k-induction shape: fixed formula, per-call
+        # assumption literals.
+        rng = random.Random(23)
+        for trial in range(25):
+            nv = rng.randint(4, 9)
+            script = [("add", c) for c in
+                      random_clauses(rng, nv, rng.randint(3, 3 * nv))]
+            for _ in range(rng.randint(2, 5)):
+                vs = rng.sample(range(nv), rng.randint(0, 3))
+                script.append(
+                    ("solve",
+                     [2 * v + (rng.random() < 0.5) for v in vs]))
+            legacy = run_script(LegacySolver, nv, script)
+            flat = run_script(FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}: {script}"
+
+    def test_conflict_budget_exhaustion_matches(self):
+        def starved(core):
+            s = core()
+            var = {(p, h): s.new_var() for p in range(6)
+                   for h in range(5)}
+            for p in range(6):
+                s.add_clause([2 * var[p, h] for h in range(5)])
+            for h in range(5):
+                for p1 in range(6):
+                    for p2 in range(p1 + 1, 6):
+                        s.add_clause([2 * var[p1, h] + 1,
+                                      2 * var[p2, h] + 1])
+            result = s.solve(conflict_budget=20)
+            return (result,) + observe(s)
+
+        assert starved(LegacySolver) == starved(FlatSolver)
+
+
+class TestStatsInvariants:
+    @pytest.mark.parametrize("core", [LegacySolver, FlatSolver])
+    def test_lifetime_counters_are_monotone_and_sum_deltas(self, core):
+        rng = random.Random(5)
+        s = core()
+        s.new_vars(8)
+        for c in random_clauses(rng, 8, 20):
+            s.add_clause(c)
+        initial = s.stats()  # loading units already propagates
+        previous = dict(initial)
+        totals = dict.fromkeys(previous, 0)
+        for _ in range(6):
+            vs = rng.sample(range(8), 2)
+            s.solve([2 * v + (rng.random() < 0.5) for v in vs])
+            now = s.stats()
+            for key in now:
+                assert now[key] >= previous[key]
+                assert s.last_call_stats[key] \
+                    == now[key] - previous[key]
+                totals[key] += s.last_call_stats[key]
+            previous = now
+        assert all(totals[k] == previous[k] - initial[k]
+                   for k in totals)
+
+
+class TestFacadeToggleEndToEnd:
+    def test_solver_facade_runs_identically_under_both_toggles(self):
+        rng = random.Random(99)
+        nv = 8
+        clauses = random_clauses(rng, nv, 24)
+
+        def run():
+            s = Solver()
+            s.new_vars(nv)
+            for c in clauses:
+                s.add_clause(list(c))
+            result = s.solve()
+            return (result,) + observe(s)
+
+        with use_flat(True):
+            flat = run()
+        with use_flat(False):
+            legacy = run()
+        assert flat == legacy
+
+
+@pytest.mark.bench
+class TestOracleStress:
+    """Larger randomized sweeps; excluded from tier-1 (-m 'not bench')."""
+
+    def test_large_random_sweep(self):
+        rng = random.Random(0xBEEF)
+        for trial in range(150):
+            nv = rng.randint(8, 20)
+            clauses = random_clauses(rng, nv, rng.randint(nv, 6 * nv))
+            script = [("add", c) for c in clauses]
+            for _ in range(rng.randint(1, 4)):
+                vs = rng.sample(range(nv), rng.randint(0, 4))
+                script.append(
+                    ("solve",
+                     [2 * v + (rng.random() < 0.5) for v in vs]))
+            legacy = run_script(LegacySolver, nv, script)
+            flat = run_script(FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}"
+
+    def test_php_reduce_db_and_restarts_agree(self):
+        # Big enough to trigger learnt-DB reduction and restarts.
+        def php(core):
+            s = core()
+            pigeons, holes = 7, 6
+            var = {(p, h): s.new_var() for p in range(pigeons)
+                   for h in range(holes)}
+            for p in range(pigeons):
+                s.add_clause([2 * var[p, h] for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        s.add_clause([2 * var[p1, h] + 1,
+                                      2 * var[p2, h] + 1])
+            result = s.solve()
+            return (result, s.learnt_lits(), s.stats())
+
+        legacy = php(LegacySolver)
+        flat = php(FlatSolver)
+        assert legacy[0] == UNSAT
+        assert legacy == flat

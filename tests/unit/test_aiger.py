@@ -1,4 +1,4 @@
-"""Unit tests for AIGER (ASCII aag) I/O."""
+"""Unit tests for AIGER I/O (ASCII ``aag`` and binary ``aig``)."""
 
 import pytest
 
@@ -71,13 +71,16 @@ class TestParse:
         aig = parse_aiger(text)
         assert aig.init_of(aig.latches[0]) == 1
 
-    def test_rejects_binary_header(self):
-        with pytest.raises(NetlistError):
-            parse_aiger("aig 1 0 0 0 1\n")
-
     def test_rejects_truncated(self):
         with pytest.raises(NetlistError):
             parse_aiger("aag 2 2 0 0 0\n2\n")
+
+    def test_header_error_names_both_variants(self):
+        # Regression: a non-AIGER payload used to be reported as
+        # "missing 'aag' header", wrongly implying binary files were
+        # AIGER-invalid rather than merely a different variant.
+        with pytest.raises(NetlistError, match=r"'aag'.*'aig'"):
+            parse_aiger("MODULE main\n")
 
     def test_rejects_undefined_literal(self):
         with pytest.raises(NetlistError):
@@ -90,6 +93,122 @@ class TestParse:
     def test_rejects_nonbinary_latch_init(self):
         with pytest.raises(NetlistError):
             parse_aiger("aag 2 0 1 0 0\n2 2 4\n")
+
+
+#: Binary rendition of AND2 (inputs implicit; one AND, delta-coded).
+AND2_BIN = b"aig 3 2 0 1 1\n6\n\x02\x02i0 a\ni1 b\no0 and_ab\n"
+
+#: Binary rendition of TOGGLE (latch line drops the latch literal).
+TOGGLE_BIN = b"aig 1 0 1 2 0\n3\n2\n3\nl0 toggle\n"
+
+
+class TestParseBinary:
+    def test_and2_binary_matches_ascii(self):
+        aig = parse_aiger(AND2_BIN)
+        assert len(aig.inputs) == 2
+        assert aig.num_ands() == 1
+        a, b = aig.inputs
+        for va, vb in ((1, 1), (1, 0), (0, 1), (0, 0)):
+            values, _ = aig.evaluate({a: va, b: vb})
+            assert aig.lit_value(values, aig.outputs[0]) == va & vb
+        assert aig.names[a] == "a"
+
+    def test_toggle_binary(self):
+        aig = parse_aiger(TOGGLE_BIN)
+        assert len(aig.latches) == 1
+        lat = aig.latches[0]
+        assert aig.next_of(lat) == aig_not(lat << 1)
+        assert aig.names[lat] == "toggle"
+        assert len(aig.outputs) == 2
+
+    def test_multibyte_varint_delta(self):
+        # 70 inputs; the single AND (lhs 142) references input
+        # variable 2, so delta0 = 138 needs a two-byte varint
+        # (0x8A 0x01 = 10 + 128).
+        data = b"aig 71 70 0 1 1\n142\n\x8a\x01\x02"
+        aig = parse_aiger(data)
+        assert aig.num_ands() == 1
+        i0, i1 = aig.inputs[0], aig.inputs[1]
+        values, _ = aig.evaluate({i0: 1, i1: 1})
+        assert aig.lit_value(values, aig.outputs[0]) == 1
+        values, _ = aig.evaluate({i0: 1, i1: 0})
+        assert aig.lit_value(values, aig.outputs[0]) == 0
+
+    def test_latch_next_may_reference_and_var(self):
+        # next(latch) = input AND latch: the AND section resolves
+        # after the latch prologue.
+        data = b"aig 3 1 1 0 1 1\n6\n6\n\x02\x02"
+        aig = parse_aiger(data)
+        lat = aig.latches[0]
+        assert aig.kind(aig_node(aig.next_of(lat))) == "and"
+        assert len(aig.bad) == 1
+
+    def test_binary_via_text_api(self):
+        # A binary payload read through a text-mode file still parses.
+        aig = parse_aiger(AND2_BIN.decode("latin-1"))
+        assert aig.num_ands() == 1
+
+    def test_rejects_truncated_and_section(self):
+        # Declares one AND but carries no delta bytes (this exact
+        # input used to fail with the misleading "missing 'aag'
+        # header" message).
+        with pytest.raises(NetlistError, match="truncated"):
+            parse_aiger("aig 1 0 0 0 1\n")
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(NetlistError, match="M"):
+            parse_aiger(b"aig 5 2 0 1 1\n6\n\x02\x02")
+
+    def test_rejects_zero_delta(self):
+        # delta0 = 0 would make the AND depend on itself.
+        with pytest.raises(NetlistError, match="delta"):
+            parse_aiger(b"aig 3 2 0 1 1\n6\n\x00\x02")
+
+
+class TestBadStateProperties:
+    def test_ascii_bad_lines_become_targets(self):
+        text = "aag 1 0 1 1 0 1\n2 3\n3\n2\nb0 unsafe\n"
+        aig = parse_aiger(text)
+        assert aig.bad == [aig.latches[0] << 1]
+        assert len(aig.outputs) == 1
+        net, _ = aig_to_netlist(aig)
+        # Bad properties define the targets; outputs stay outputs.
+        assert len(net.targets) == 1
+        assert len(net.outputs) == 1
+        assert net.targets != net.outputs
+
+    def test_binary_bad_lines_become_targets(self):
+        data = b"aig 1 0 1 0 0 1\n3\n2\nb0 unsafe\n"
+        aig = parse_aiger(data)
+        assert len(aig.bad) == 1
+        net, _ = aig_to_netlist(aig)
+        assert len(net.targets) == 1
+        assert net.outputs == []
+
+    def test_without_bad_outputs_double_as_targets(self):
+        aig = parse_aiger(TOGGLE)
+        net, _ = aig_to_netlist(aig)
+        assert net.targets == net.outputs
+
+    def test_bad_survives_write_round_trip(self):
+        aig = AIG()
+        a = aig.add_input("alpha")
+        lat = aig.add_latch(0, "state")
+        aig.set_next(lat, a)
+        aig.add_bad(lat, "unsafe")
+        text = write_aiger(aig)
+        assert " 1\n" in text.splitlines()[0] + "\n"
+        again = parse_aiger(text)
+        assert len(again.bad) == 1
+        assert again.names[aig_node(again.bad[0])] == "state"
+
+    def test_unsupported_19_sections_rejected(self):
+        with pytest.raises(NetlistError, match="'C'"):
+            parse_aiger("aag 0 0 0 0 0 0 1\n")
+        with pytest.raises(NetlistError, match="'J'"):
+            parse_aiger("aag 0 0 0 0 0 0 0 1\n")
+        with pytest.raises(NetlistError, match="'F'"):
+            parse_aiger("aag 0 0 0 0 0 0 0 0 1\n")
 
 
 class TestWriteRoundTrip:

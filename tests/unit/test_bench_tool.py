@@ -58,6 +58,16 @@ def _validate_v2_extensions(artifact):
     assert split["solve_seconds"] > 0
     counters = artifact["counters"]
     assert counters.get("template.frames_stamped", 0) > 0
+    # Artifacts produced since the flat-solver work also break the
+    # solve side down by search phase (committed pr4/pr5 baselines
+    # predate it).
+    if "solve_propagate_seconds" in split:
+        phases = (split["solve_propagate_seconds"]
+                  + split["solve_decide_seconds"]
+                  + split["solve_analyze_seconds"])
+        assert phases > 0
+        assert split["solve_other_seconds"] >= 0
+        assert phases <= split["solve_seconds"] + 1e-6
 
 
 def test_git_rev_is_nonempty_string():

@@ -45,9 +45,9 @@ def counter(width):
 
 
 def solver_fingerprint(solver):
-    return (solver.num_vars,
-            [tuple(c.lits) for c in solver._clauses],
-            tuple(solver._assign), tuple(solver._trail), solver._ok)
+    return (solver.num_vars, solver.clause_lits(),
+            tuple(solver.assignment()), tuple(solver.trail_lits()),
+            solver.ok)
 
 
 def unrolling_fingerprint(net, frames, constrain_init, enabled):

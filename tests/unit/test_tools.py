@@ -36,6 +36,15 @@ class TestFileIO:
         assert again.num_registers() == 3
         assert len(again.inputs) == 4
 
+    def test_binary_aiger_load(self, tmp_path):
+        # Toggle latch with an AIGER 1.9 bad-state property, in the
+        # binary 'aig' distribution format (HWMCC style).
+        path = tmp_path / "toggle.aig"
+        path.write_bytes(b"aig 1 0 1 1 0 1\n3\n2\n2\nb0 unsafe\n")
+        net = load_netlist(str(path))
+        assert net.num_registers() == 1
+        assert len(net.targets) == 1
+
     def test_unknown_extension_rejected(self, tmp_path):
         bad = tmp_path / "x.v"
         bad.write_text("")
