@@ -1,0 +1,126 @@
+"""DRAT-style proof event logs emitted by the SAT solver cores.
+
+A :class:`ProofLog` records every clause-database mutation the solver
+performs, in order, as immutable events:
+
+* ``("i", lits)`` — an *input* (problem) clause, logged exactly once at
+  the public loading boundary (``add_clause`` / ``add_clauses_bulk``)
+  with its **original** literals, before any level-0 normalisation.
+  Input clauses are the checker's trust base: they are never verified,
+  only consumed.
+* ``("a", lits)`` — a *learned* clause (post-minimization), including
+  unit learnts that never enter the learnt database proper.  Every
+  ``a`` event must have the RUP property with respect to the clauses
+  active at that point — this is what :mod:`repro.cert.drat` checks.
+* ``("d", lits)`` — a clause *deleted* by learnt-DB reduction.  The
+  solver's watched-literal scheme permutes clause literals in place
+  after the addition was logged, so deletions are matched by
+  *multiset* (sorted tuple), never by literal order.
+* ``("u", assumptions)`` — an UNSAT *conclusion*: the solver claimed
+  ``unsat`` under exactly these assumption literals (the empty tuple
+  for an unconditional refutation).  Unit propagation over the active
+  clauses plus the assumptions must yield a conflict.
+
+The log is always held in memory; when ``stream_path`` is given every
+event is additionally appended to a text file in an extended
+DIMACS/DRAT line format (``i``/``d``/``u`` prefixes, 1-based signed
+literals, ``0`` terminator) for offline inspection.
+
+This module imports nothing from ``repro`` — :mod:`repro.sat.solver`
+must be able to import it without cycles, exactly like the resilience
+error taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["EVENT_KINDS", "ProofLog"]
+
+#: Event tags, in the order they typically appear.
+EVENT_KINDS = ("i", "a", "d", "u")
+
+
+def _dimacs(lits: Tuple[int, ...]) -> str:
+    """Render 0-based solver literals as a signed 1-based DIMACS line."""
+    return " ".join(
+        str(-(lit // 2 + 1) if lit & 1 else lit // 2 + 1)
+        for lit in lits
+    ) + " 0"
+
+
+class ProofLog:
+    """An in-memory (optionally disk-streamed) clausal proof log.
+
+    Events are ``(kind, lits)`` tuples with ``kind`` in
+    :data:`EVENT_KINDS` and ``lits`` an immutable tuple of 0-based
+    literals (the :mod:`repro.sat.cnf` encoding).  Literal tuples are
+    snapshotted at logging time: callers may hand over the very lists
+    the solver will keep mutating (watched-literal swaps), the log is
+    unaffected.
+    """
+
+    __slots__ = ("events", "stream_path", "_stream")
+
+    def __init__(self, stream_path: Optional[str] = None) -> None:
+        self.events: List[Tuple[str, Tuple[int, ...]]] = []
+        self.stream_path = stream_path
+        self._stream = None
+        if stream_path:
+            # Append mode: several solvers (or incremental sessions)
+            # may share one debugging stream; the in-memory log stays
+            # per-solver regardless.
+            self._stream = open(stream_path, "a", encoding="ascii")
+
+    # ------------------------------------------------------------------
+    # Logging (called from the solver hot paths; each is one append)
+    # ------------------------------------------------------------------
+    def _log(self, kind: str, lits: Iterable[int]) -> None:
+        event = (kind, tuple(lits))
+        self.events.append(event)
+        if self._stream is not None:
+            prefix = "" if kind == "a" else kind + " "
+            self._stream.write(prefix + _dimacs(event[1]) + "\n")
+
+    def input(self, lits: Iterable[int]) -> None:
+        """Log an original problem clause (the checker's axiom set)."""
+        self._log("i", lits)
+
+    def learnt(self, lits: Iterable[int]) -> None:
+        """Log a learned clause (must be RUP at this point)."""
+        self._log("a", lits)
+
+    def delete(self, lits: Iterable[int]) -> None:
+        """Log a learnt-DB deletion (matched by sorted literal tuple)."""
+        self._log("d", lits)
+
+    def conclude_unsat(self, assumptions: Iterable[int] = ()) -> None:
+        """Log an UNSAT verdict under ``assumptions`` (may be empty)."""
+        self._log("u", assumptions)
+        if self._stream is not None:
+            self._stream.flush()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Event counts per kind (``i`` / ``a`` / ``d`` / ``u``)."""
+        out = {kind: 0 for kind in EVENT_KINDS}
+        for kind, _ in self.events:
+            out[kind] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def close(self) -> None:
+        """Close the optional disk stream (in-memory events remain)."""
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,125 @@
+"""SAT-verdict certification by concrete witness replay.
+
+A counterexample is certified by *re-executing* it: the decoded input
+trace is stepped through :class:`~repro.sim.BitParallelSimulator` —
+cycle-accurate netlist semantics, entirely independent of the Tseitin
+encoding and the CDCL search — and the verdict stands only if
+
+* the target evaluates to 1 at exactly the claimed depth,
+* the target evaluates to 0 at every earlier frame (BMC refuted those
+  frames, so a trace hitting earlier would contradict the solver), and
+* when the solver model and unrolling are available, every frame
+  literal of the unrolled CNF agrees with the simulated value of its
+  vertex, and the decoded latch-transition boundary
+  (``state_values(model, t + 1)``) equals the simulated next state —
+  i.e. the model satisfies the netlist *semantics*, not merely the
+  clauses the encoder happened to emit.
+
+The counterexample argument is duck-typed (``.depth`` / ``.inputs`` /
+``.initial_state``, the :class:`repro.unroll.bmc.Counterexample`
+shape) so this module never imports :mod:`repro.unroll` — the unroll
+layer imports :mod:`repro.sat`, which imports the proof log from this
+package, and a top-level back edge would cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["WitnessReport", "replay_witness"]
+
+#: Mismatch messages kept per report (the count is always exact).
+_MAX_MISMATCHES = 10
+
+
+@dataclass
+class WitnessReport:
+    """Outcome of a witness replay (``ok`` iff everything agreed)."""
+
+    ok: bool
+    depth: int
+    frames_checked: int = 0
+    literals_checked: int = 0
+    mismatch_count: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def detail(self) -> str:
+        """The first mismatch, or an empty string when certified."""
+        return self.mismatches[0] if self.mismatches else ""
+
+
+def _decode(model: List[bool], lit: int) -> int:
+    """Value of a 0-based literal under a solver model."""
+    val = model[lit >> 1]
+    return int(val if not (lit & 1) else not val)
+
+
+def replay_witness(
+    net,
+    target: int,
+    cex,
+    model: Optional[List[bool]] = None,
+    unroll=None,
+) -> WitnessReport:
+    """Replay ``cex`` against ``net``; see the module docstring.
+
+    ``model`` and ``unroll`` (the solver model and the
+    :class:`~repro.unroll.unroller.Unrolling` it satisfies) enable the
+    frame-by-frame literal and latch-transition checks; without them
+    only the input-trace replay and target checks run.
+    """
+    from ..sim import BitParallelSimulator
+
+    report = WitnessReport(ok=True, depth=cex.depth)
+
+    def mismatch(message: str) -> None:
+        report.ok = False
+        report.mismatch_count += 1
+        if len(report.mismatches) < _MAX_MISMATCHES:
+            report.mismatches.append(message)
+
+    if len(cex.inputs) != cex.depth + 1:
+        mismatch(f"trace length {len(cex.inputs)} does not cover "
+                 f"claimed depth {cex.depth}")
+        return report
+    if model is not None and unroll is not None:
+        decoded_init = unroll.state_values(model, 0)
+        if decoded_init != cex.initial_state:
+            mismatch("counterexample initial state disagrees with "
+                     "the solver model")
+    sim = BitParallelSimulator(net)
+    state: Dict[int, int] = dict(cex.initial_state)
+    for t, inputs in enumerate(cex.inputs):
+        values, state = sim.step(state, inputs)
+        report.frames_checked += 1
+        hit = bool(values[target] & 1)
+        if t == cex.depth and not hit:
+            mismatch(f"target {target} is 0 at the claimed depth {t}")
+        elif t < cex.depth and hit:
+            mismatch(f"target {target} hit at frame {t}, before the "
+                     f"claimed depth {cex.depth} (frame {t} was "
+                     "refuted)")
+        if model is None or unroll is None:
+            continue
+        # Model/semantics agreement, vertex by vertex: every frame
+        # literal the encoder emitted must carry the simulated value.
+        if inputs != unroll.input_values(model, t):
+            mismatch(f"frame {t}: counterexample inputs disagree with "
+                     "the solver model")
+        for vid, lit in unroll.frames[t].items():
+            report.literals_checked += 1
+            if _decode(model, lit) != values[vid] & 1:
+                mismatch(f"frame {t}: vertex {vid} is "
+                         f"{values[vid] & 1} under simulation but "
+                         f"{_decode(model, lit)} in the model")
+        # Latch-transition constraints: the model's next-state
+        # boundary must be the simulated successor state.
+        decoded_next = unroll.state_values(model, t + 1)
+        for vid, value in decoded_next.items():
+            if value != state[vid] & 1:
+                mismatch(f"frame {t}: state element {vid} steps to "
+                         f"{state[vid] & 1} under simulation but "
+                         f"{value} in the model")
+    return report

@@ -19,12 +19,16 @@ original netlist — the only fallback that is sound for diameter
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from .. import obs
+from ..cert import certification_enabled
 from ..netlist import Netlist
-from ..resilience import Budget, Cancelled, EngineFailure
+from ..resilience import Budget, Cancelled, CertificationFailure, \
+    EngineFailure
+from ..sat import flat_enabled, use_flat
 from ..transform.localize_cegar import localization_refinement
 from ..unroll import Counterexample, FALSIFIED as BMCFALSIFIED, \
     PROVEN as BMC_PROVEN, bmc, k_induction
@@ -44,8 +48,9 @@ class ProofResult:
     failure and fell back to the structural bounder; the reported
     ``bound`` is still sound.  ``exhaustion_reason`` carries the
     structured cause (one of
-    :data:`repro.resilience.EXHAUSTION_REASONS`, or ``"failure"`` for
-    an engine crash).
+    :data:`repro.resilience.EXHAUSTION_REASONS`, ``"failure"`` for an
+    engine crash, or ``"certification"`` when a verdict failed its
+    proof/witness check on both solver cores).
     """
 
     status: str
@@ -98,16 +103,66 @@ def _race_probes(net: Netlist, target: int, quick_bmc_depth: int,
     from ..parallel import ParallelExecutor
     from ..parallel.workers import run_bmc_probe, run_induction_probe
 
+    # The certification toggle is captured in the parent and shipped
+    # in the payload: workers must not depend on inheriting process
+    # globals across the spawn/fork boundary.
+    certify = certification_enabled()
     executor = ParallelExecutor(jobs=min(jobs, 2), name="prove")
     tasks = [
         (run_bmc_probe,
-         {"net": net, "target": target, "max_depth": quick_bmc_depth}),
+         {"net": net, "target": target, "max_depth": quick_bmc_depth,
+          "certify": certify}),
         (run_induction_probe,
-         {"net": net, "target": target, "max_k": induction_k}),
+         {"net": net, "target": target, "max_k": induction_k,
+          "certify": certify}),
     ]
     outcomes = executor.map_tasks(tasks, budget=budget,
                                   labels=["quick-bmc", "k-induction"])
     return outcomes[0], outcomes[1]
+
+
+def _cert_retry(reg, budget: Optional[Budget], phase: str, call):
+    """One-shot cross-core arbitration after a certification failure.
+
+    The failed verdict came from the current solver core, so the most
+    informative retry is the *other* core: a genuine solver bug fails
+    again (the checker is core-independent) while a transient flake
+    recovers.  The retry runs under whatever budget survives, after a
+    tiny budget-capped backoff; with the budget already exhausted the
+    arbitration gives up immediately.  A second
+    :class:`CertificationFailure` (or any :class:`EngineFailure`)
+    propagates to the caller's degradation path.
+    """
+    reg.counter("cert.retried")
+    reg.event("cert.retry", phase=phase,
+              retry_core="legacy" if flat_enabled() else "flat")
+    delay = 0.05
+    if budget is not None:
+        if budget.cancelled:
+            raise Cancelled(budget_name=budget.name)
+        reason = budget.exhausted()
+        if reason is not None:
+            raise CertificationFailure(
+                phase, stage="arbitration",
+                message=f"budget exhausted ({reason}) before the "
+                        "cross-core retry")
+        remaining = budget.remaining_seconds()
+        if remaining is not None:
+            delay = max(0.0, min(delay, remaining * 0.1))
+    if delay:
+        time.sleep(delay)
+    with use_flat(not flat_enabled()):
+        result = call()
+    reg.counter("cert.recovered")
+    return result
+
+
+def _run_certified(reg, budget: Optional[Budget], phase: str, call):
+    """Run an engine call, arbitrating one certification failure."""
+    try:
+        return call()
+    except CertificationFailure:
+        return _cert_retry(reg, budget, phase, call)
 
 
 def prove(
@@ -137,6 +192,15 @@ def prove(
     exhaustion or :class:`EngineFailure` degrades to the structural
     bound (see the module docstring) instead of raising.  Only
     :class:`Cancelled` propagates.
+
+    Certification arbitration: when verdict certification is armed
+    (:func:`repro.cert.use_certification` or ``REPRO_CERT``), a
+    :class:`repro.resilience.CertificationFailure` from BMC or
+    k-induction triggers ONE retry of that engine call on the other
+    solver core under the surviving budget (``cert.retried`` /
+    ``cert.recovered`` counters); a second failure degrades to the
+    structural bound with ``exhaustion_reason="certification"`` —
+    the same never-lie posture as an engine crash.
 
     ``jobs > 1`` parallelizes the independent engine calls
     (:mod:`repro.parallel`): the portfolio strategies fan out across
@@ -205,8 +269,14 @@ def prove(
                 return stop
             try:
                 with reg.span("complete-bmc"):
-                    check = bmc(net, target, max_depth=bound,
-                                complete_bound=bound, budget=budget)
+                    check = _run_certified(
+                        reg, budget, "complete-bmc",
+                        lambda: bmc(net, target, max_depth=bound,
+                                    complete_bound=bound,
+                                    budget=budget))
+            except CertificationFailure as exc:
+                return degraded(bound, strategy, "certification",
+                                str(exc))
             except EngineFailure as exc:
                 return degraded(bound, strategy, "failure", str(exc))
             log.append(f"complete BMC to {bound}: {check.status}")
@@ -233,15 +303,38 @@ def prove(
             quick_out, induct_out = _race_probes(
                 net, target, quick_bmc_depth, induction_k, budget,
                 jobs)
-            if quick_out.error is not None:
+            if isinstance(quick_out.error, CertificationFailure):
+                # Worker-side certification failure: arbitrate
+                # in-process on the other core, like the sequential
+                # path would.
+                try:
+                    quick = _cert_retry(
+                        reg, budget, "quick-bmc",
+                        lambda: bmc(net, target,
+                                    max_depth=quick_bmc_depth,
+                                    budget=budget))
+                except CertificationFailure as exc:
+                    return degraded(bound, strategy, "certification",
+                                    str(exc))
+                except EngineFailure as exc:
+                    return degraded(bound, strategy, "failure",
+                                    str(exc))
+            elif quick_out.error is not None:
                 return degraded(bound, strategy, "failure",
                                 str(quick_out.error))
-            quick = quick_out.value
+            else:
+                quick = quick_out.value
         else:
             try:
                 with reg.span("quick-bmc"):
-                    quick = bmc(net, target, max_depth=quick_bmc_depth,
-                                budget=budget)
+                    quick = _run_certified(
+                        reg, budget, "quick-bmc",
+                        lambda: bmc(net, target,
+                                    max_depth=quick_bmc_depth,
+                                    budget=budget))
+            except CertificationFailure as exc:
+                return degraded(bound, strategy, "certification",
+                                str(exc))
             except EngineFailure as exc:
                 return degraded(bound, strategy, "failure", str(exc))
         log.append(f"quick BMC to {quick_bmc_depth}: {quick.status}")
@@ -252,19 +345,38 @@ def prove(
                                log=log, seconds=watch.elapsed)
 
         if jobs > 1:
-            if induct_out.error is not None:
+            if isinstance(induct_out.error, CertificationFailure):
+                try:
+                    induct = _cert_retry(
+                        reg, budget, "k-induction",
+                        lambda: k_induction(net, target,
+                                            max_k=induction_k,
+                                            budget=budget))
+                except CertificationFailure as exc:
+                    return degraded(bound, strategy, "certification",
+                                    str(exc))
+                except EngineFailure as exc:
+                    return degraded(bound, strategy, "failure",
+                                    str(exc))
+            elif induct_out.error is not None:
                 return degraded(bound, strategy, "failure",
                                 str(induct_out.error))
-            induct = induct_out.value
+            else:
+                induct = induct_out.value
         else:
             stop = gate(bound, strategy, "k-induction")
             if stop is not None:
                 return stop
             try:
                 with reg.span("k-induction"):
-                    induct = k_induction(net, target,
-                                         max_k=induction_k,
-                                         budget=budget)
+                    induct = _run_certified(
+                        reg, budget, "k-induction",
+                        lambda: k_induction(net, target,
+                                            max_k=induction_k,
+                                            budget=budget))
+            except CertificationFailure as exc:
+                return degraded(bound, strategy, "certification",
+                                str(exc))
             except EngineFailure as exc:
                 return degraded(bound, strategy, "failure", str(exc))
         log.append(f"k-induction to k={induction_k}: {induct.status}")
@@ -307,6 +419,13 @@ def prove(
                         FALSIFIED, "localization", target, bound=bound,
                         counterexample=concrete.counterexample,
                         log=log, seconds=watch.elapsed)
+        except CertificationFailure as exc:
+            # Localization re-runs concrete BMC internally; its
+            # certification failures degrade without a core retry
+            # (the refinement loop is not idempotent enough to
+            # replay wholesale).
+            return degraded(bound, strategy, "certification",
+                            str(exc))
         except EngineFailure as exc:
             return degraded(bound, strategy, "failure", str(exc))
 

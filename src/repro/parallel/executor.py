@@ -51,7 +51,8 @@ code path).
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, \
+    TimeoutError as _FuturesTimeout
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence
 
@@ -66,6 +67,15 @@ __all__ = ["BudgetSpec", "ParallelExecutor", "WorkerOutcome"]
 #: Error types workers return as values (everything else is a crash).
 _TYPED_ERRORS = (ResourceExhausted, EngineFailure, Cancelled,
                  NetlistError, ValueError)
+
+#: Watchdog tuning.  A worker is expected to stop *itself* at its
+#: budget deadline (cooperative checks inside every solve); the parent
+#: only declares it stalled once it has overrun the deadline by
+#: ``(grace - 1) x`` its original wall allowance, plus a small floor
+#: absorbing pool scheduling jitter on tiny budgets.  Tasks with no
+#: wall deadline are never watched — there is no bound to enforce.
+_WATCHDOG_GRACE = 2.0
+_WATCHDOG_FLOOR = 0.5
 
 
 @dataclass(frozen=True)
@@ -84,6 +94,11 @@ class BudgetSpec:
     conflicts: Optional[int] = None
     queries: Optional[int] = None
     name: str = "worker"
+    #: ``time.time()`` at capture; with ``deadline_epoch`` this
+    #: preserves the original wall allowance, which the parent-side
+    #: watchdog scales by :data:`_WATCHDOG_GRACE` to decide when an
+    #: unresponsive worker counts as stalled.
+    captured_epoch: Optional[float] = None
 
     @classmethod
     def capture(cls, budget: Optional[Budget],
@@ -91,14 +106,28 @@ class BudgetSpec:
         """Freeze ``budget``'s current remains (None passes through)."""
         if budget is None:
             return None
+        now = time.time()
         seconds = budget.remaining_seconds()
         return cls(
             deadline_epoch=None if seconds is None
-            else time.time() + seconds,
+            else now + seconds,
             conflicts=budget.remaining_conflicts(),
             queries=budget.remaining_queries(),
             name=name or budget.name,
+            captured_epoch=now,
         )
+
+    def watchdog_timeout(self) -> Optional[float]:
+        """Seconds from now until the parent should declare a worker
+        on this budget stalled (None = never — no wall deadline)."""
+        if self.deadline_epoch is None:
+            return None
+        allowance = 0.0
+        if self.captured_epoch is not None:
+            allowance = max(0.0,
+                            self.deadline_epoch - self.captured_epoch)
+        grace = allowance * (_WATCHDOG_GRACE - 1.0) + _WATCHDOG_FLOOR
+        return max(0.0, self.deadline_epoch + grace - time.time())
 
     def restore(self) -> Budget:
         """Rebuild a live budget in the current process."""
@@ -255,16 +284,42 @@ class ParallelExecutor:
                 fault_config) -> List[WorkerOutcome]:
         workers = min(self.jobs, len(tasks))
         outcomes: List[Optional[WorkerOutcome]] = [None] * len(tasks)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        reg = obs.get_registry()
+        stalled = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
             futures = [
                 pool.submit(_run_task, fn, payload, spec, fault_config)
                 for (fn, payload), spec in zip(tasks, specs)
             ]
             # Joined in submission order: determinism over latency.
+            # Each join is bounded by the task's watchdog deadline —
+            # a worker that has blown past its wall budget by the
+            # grace factor is declared stalled and its slot filled
+            # with a typed exhaustion, exactly where its result
+            # would have gone, so outcome order never depends on
+            # which worker hung.
             for i, future in enumerate(futures):
+                spec = specs[i]
+                timeout = None if spec is None \
+                    else spec.watchdog_timeout()
                 try:
-                    outcomes[i] = self._decode(i, labels[i],
-                                               future.result())
+                    raw = future.result(timeout=timeout)
+                except _FuturesTimeout:
+                    stalled = True
+                    future.cancel()
+                    reg.counter("parallel.watchdog_kills")
+                    reg.event("parallel.watchdog", label=labels[i],
+                              budget=spec.name)
+                    outcomes[i] = WorkerOutcome(
+                        index=i, label=labels[i],
+                        error=ResourceExhausted(
+                            "parallel.watchdog",
+                            f"worker {labels[i]!r} overran its wall "
+                            "deadline past the watchdog grace; task "
+                            "cancelled",
+                            budget_name=spec.name))
+                    continue
                 except Exception as exc:
                     # The process died or the round-trip broke: the
                     # existing EngineFailure degradation path applies.
@@ -274,6 +329,20 @@ class ParallelExecutor:
                             "parallel.worker",
                             "worker crashed: "
                             f"{str(exc) or type(exc).__name__}"))
+                    continue
+                outcomes[i] = self._decode(i, labels[i], raw)
+        finally:
+            if stalled:
+                # A stalled worker never returns; a clean
+                # shutdown(wait=True) would turn the watchdog into a
+                # deadlock.  Kill the worker processes outright and
+                # reap the pool without waiting.
+                processes = getattr(pool, "_processes", None) or {}
+                for proc in list(processes.values()):
+                    proc.terminate()
+                pool.shutdown(wait=False, cancel_futures=True)
+            else:
+                pool.shutdown(wait=True)
         return [outcome for outcome in outcomes if outcome is not None]
 
     @staticmethod
@@ -298,8 +367,15 @@ class ParallelExecutor:
                 reg.merge_snapshot(
                     outcome.snapshot,
                     prefix=f"parallel/{self.name}/{outcome.label}")
+                counters = outcome.snapshot.get("counters", {})
+                # Certification telemetry stays globally additive:
+                # the arbitration layer and the bench certification
+                # section read the top-level ``cert.*`` counters, so
+                # worker-side checks fold in un-prefixed too.
+                for key, delta in counters.items():
+                    if key.startswith("cert.") and delta:
+                        reg.counter(key, delta)
                 if budget is not None:
-                    counters = outcome.snapshot.get("counters", {})
                     conflicts = counters.get("sat.conflicts", 0)
                     queries = counters.get("sat.solve_calls", 0)
                     if conflicts:

@@ -98,21 +98,34 @@ def run_design(payload: Dict[str, Any],
 
 def run_bmc_probe(payload: Dict[str, Any],
                   budget: Optional[Budget]) -> Any:
-    """The quick falsification probe of ``prove()``'s engine race."""
+    """The quick falsification probe of ``prove()``'s engine race.
+
+    The optional ``certify`` payload key carries the parent's
+    certification toggle explicitly — a worker never relies on
+    inheriting process globals across the pool boundary.  A
+    :class:`repro.resilience.CertificationFailure` propagates to the
+    shim, surfaces as the outcome's ``error``, and re-enters the
+    parent's cross-core arbitration.
+    """
     from ..unroll import bmc
 
     reg = obs.get_registry()
     with reg.span("quick-bmc"):
         return bmc(payload["net"], payload["target"],
-                   max_depth=payload["max_depth"], budget=budget)
+                   max_depth=payload["max_depth"], budget=budget,
+                   certify=payload.get("certify"))
 
 
 def run_induction_probe(payload: Dict[str, Any],
                         budget: Optional[Budget]) -> Any:
-    """The k-induction probe of ``prove()``'s engine race."""
+    """The k-induction probe of ``prove()``'s engine race.
+
+    ``certify`` follows the :func:`run_bmc_probe` contract.
+    """
     from ..unroll import k_induction
 
     reg = obs.get_registry()
     with reg.span("k-induction"):
         return k_induction(payload["net"], payload["target"],
-                           max_k=payload["max_k"], budget=budget)
+                           max_k=payload["max_k"], budget=budget,
+                           certify=payload.get("certify"))

@@ -39,6 +39,7 @@ Stdlib-only and import-cycle-free: nothing here imports the rest of
 from .budget import Budget
 from .errors import (
     Cancelled,
+    CertificationFailure,
     EngineFailure,
     EXHAUSTED_CONFLICTS,
     EXHAUSTED_DEADLINE,
@@ -49,6 +50,7 @@ from .errors import (
 )
 from .faults import (
     FAULT_ACTIONS,
+    FAULT_CORRUPT_MODEL,
     FAULT_CRASH,
     FAULT_TIMEOUT,
     FAULT_UNKNOWN,
@@ -61,12 +63,14 @@ from .faults import (
 __all__ = [
     "Budget",
     "Cancelled",
+    "CertificationFailure",
     "EngineFailure",
     "EXHAUSTED_CONFLICTS",
     "EXHAUSTED_DEADLINE",
     "EXHAUSTED_QUERIES",
     "EXHAUSTION_REASONS",
     "FAULT_ACTIONS",
+    "FAULT_CORRUPT_MODEL",
     "FAULT_CRASH",
     "FAULT_TIMEOUT",
     "FAULT_UNKNOWN",

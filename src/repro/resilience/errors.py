@@ -36,6 +36,7 @@ from typing import Optional
 
 __all__ = [
     "Cancelled",
+    "CertificationFailure",
     "EngineFailure",
     "EXHAUSTED_CONFLICTS",
     "EXHAUSTED_DEADLINE",
@@ -101,6 +102,37 @@ class EngineFailure(ResilienceError):
         # ``cause`` is dropped: it may reference live solver state the
         # other side of a process boundary cannot (and must not) hold.
         return (type(self), (self.engine, self._message, None))
+
+
+class CertificationFailure(EngineFailure):
+    """A verdict failed independent certification (:mod:`repro.cert`).
+
+    Distinct from a plain :class:`EngineFailure`: the engine *did*
+    produce an answer, but the proof check or witness replay refused
+    to stand behind it — the answer may be unsound and must never be
+    reported.  Subclassing :class:`EngineFailure` means every existing
+    degradation path already treats it as "this engine's answer is
+    unusable"; callers that arbitrate (retry on the other solver core)
+    catch it *before* the generic ``except EngineFailure``.
+
+    ``stage`` names the failing artifact check: ``"proof"`` (the DRAT
+    checker) or ``"witness"`` (counterexample replay).
+    """
+
+    def __init__(self, engine: str, stage: str = "",
+                 message: str = "",
+                 cause: Optional[BaseException] = None) -> None:
+        detail = message or "verdict failed certification"
+        prefix = f"certification[{stage}]" if stage else "certification"
+        super().__init__(engine, f"{prefix}: {detail}", cause)
+        self.stage = stage
+        # EngineFailure stored the decorated string; keep the raw one
+        # so the pickle round-trip does not re-prefix it.
+        self._raw_message = message
+
+    def __reduce__(self):
+        return (type(self), (self.engine, self.stage,
+                             self._raw_message, None))
 
 
 class Cancelled(ResilienceError):

@@ -39,6 +39,7 @@ from .errors import EngineFailure
 
 __all__ = [
     "FAULT_ACTIONS",
+    "FAULT_CORRUPT_MODEL",
     "FAULT_CRASH",
     "FAULT_TIMEOUT",
     "FAULT_UNKNOWN",
@@ -52,7 +53,13 @@ __all__ = [
 FAULT_TIMEOUT = "timeout"
 FAULT_UNKNOWN = "unknown"
 FAULT_CRASH = "crash"
-FAULT_ACTIONS = (FAULT_TIMEOUT, FAULT_UNKNOWN, FAULT_CRASH)
+#: A *soundness* fault: the scripted solve call runs to completion but
+#: a SAT model comes back with one variable flipped — the shape of a
+#: decode/transport bug that only witness replay (:mod:`repro.cert`)
+#: can catch, since the search itself was untouched.
+FAULT_CORRUPT_MODEL = "corrupt_model"
+FAULT_ACTIONS = (FAULT_TIMEOUT, FAULT_UNKNOWN, FAULT_CRASH,
+                 FAULT_CORRUPT_MODEL)
 
 
 class FaultPlan:
@@ -65,12 +72,23 @@ class FaultPlan:
     solve observed while the plan was active; ``injected`` records
     ``(index, action)`` pairs actually fired, so tests can assert the
     fault landed where scripted.
+
+    ``corrupt_learnt`` scripts the adversarial *soundness* fault: an
+    iterable of 0-based learned-clause indices (one shared counter
+    over every conflict analysed while the plan is active) at which
+    the last literal of the freshly learned clause is sign-flipped
+    *before* the solver records or proof-logs it.  The corrupted
+    clause is really used by the subsequent search — exactly a
+    miscompiled conflict analysis — so an UNSAT verdict built on it is
+    only caught by the independent DRAT check of :mod:`repro.cert`.
+    ``corrupted`` records ``(learnt_index, lits_after_flip)``.
     """
 
     def __init__(self,
                  at: Union[Dict[int, str], Iterable[int], None] = None,
                  after: Optional[int] = None,
-                 action: str = FAULT_TIMEOUT) -> None:
+                 action: str = FAULT_TIMEOUT,
+                 corrupt_learnt: Optional[Iterable[int]] = None) -> None:
         if action not in FAULT_ACTIONS:
             raise ValueError(f"unknown fault action {action!r}")
         if isinstance(at, dict):
@@ -86,11 +104,22 @@ class FaultPlan:
                 raise ValueError(f"unknown fault action {act!r}")
         if after is not None and after < 0:
             raise ValueError(f"after must be >= 0, got {after}")
+        if corrupt_learnt is None:
+            corrupt_set = None
+        else:
+            corrupt_set = {int(i) for i in corrupt_learnt}
+            for index in corrupt_set:
+                if index < 0:
+                    raise ValueError(
+                        f"learnt index must be >= 0, got {index}")
         self.at = schedule
         self.after = after
         self.action = action
+        self.corrupt_learnt = corrupt_set
         self.calls = 0
+        self.learnts = 0
         self.injected: List[Tuple[int, str]] = []
+        self.corrupted: List[Tuple[int, Tuple[int, ...]]] = []
 
     def config(self) -> Dict[str, object]:
         """The plan's *schedule* as plain picklable data.
@@ -103,7 +132,10 @@ class FaultPlan:
         distributed.  ``FaultPlan(**plan.config())`` rebuilds it.
         """
         return {"at": dict(self.at), "after": self.after,
-                "action": self.action}
+                "action": self.action,
+                "corrupt_learnt":
+                    sorted(self.corrupt_learnt)
+                    if self.corrupt_learnt is not None else None}
 
     def next_action(self) -> Optional[str]:
         """The fault for the current call index (advances the index)."""
@@ -116,6 +148,23 @@ class FaultPlan:
         if fault is not None:
             self.injected.append((index, fault))
         return fault
+
+    def next_learnt(self, learnt: List[int]) -> bool:
+        """Solver hook, once per learned clause: advance the learnt
+        index and, when scripted, flip the sign of the clause's *last*
+        literal in place (same variable and decision level, so the
+        backjump computation and watch invariants stay intact — the
+        corruption changes what the clause *means*, not whether the
+        search machinery can keep running).  Returns True when fired.
+        """
+        index = self.learnts
+        self.learnts += 1
+        if self.corrupt_learnt is None \
+                or index not in self.corrupt_learnt:
+            return False
+        learnt[-1] ^= 1
+        self.corrupted.append((index, tuple(learnt)))
+        return True
 
 
 #: The currently installed plan (process-global, like obs' registry).

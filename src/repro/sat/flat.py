@@ -137,8 +137,13 @@ class FlatSolver(Solver):
         watches = self._watches
         out = self._clauses
         append = out.append
-        slow = self.add_clause
+        slow = self._add_clause_raw
+        proof = self._proof
         for lits in clauses:
+            if proof is not None:
+                # Original literals, before any normalisation or
+                # watched-literal reordering mutates the list.
+                proof.input(lits)
             for lit in lits:
                 if assign[lit >> 1] >= 0:
                     break
@@ -389,6 +394,11 @@ class FlatSolver(Solver):
         return out
 
     def _record_learnt(self, learnt: List[int]) -> None:
+        if self._proof is not None:
+            # Post-minimization literals (minimization preserves RUP);
+            # unit learnts are logged too — they never enter _learnts,
+            # only the level-0 trail.
+            self._proof.learnt(learnt)
         if len(learnt) == 1:
             self._enqueue(learnt[0])
             return
@@ -442,10 +452,15 @@ class FlatSolver(Solver):
         keep_from = len(learnts) // 2
         kept = []
         garbage = self._garbage
+        proof = self._proof
         for i, cref in enumerate(learnts):
             size = arena[cref]
             if i < keep_from and size > 2 \
                     and reason[arena[cref + 2] >> 1] != cref:
+                if proof is not None:
+                    # Snapshot the (watch-permuted) literals before
+                    # the arena words become garbage.
+                    proof.delete(arena[cref + 2: cref + 2 + size])
                 self._detach(cref)
                 garbage += size + _HDR
             else:

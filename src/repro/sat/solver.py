@@ -44,6 +44,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
     Tuple
 
 from .. import obs
+from ..cert.proof import ProofLog
 from ..resilience import Budget, Cancelled, EngineFailure, \
     EXHAUSTED_CONFLICTS, EXHAUSTED_DEADLINE
 from ..resilience import faults as _faults
@@ -141,6 +142,59 @@ def use_sat_profile(enabled: bool) -> Iterator[None]:
         set_profile_enabled(previous)
 
 
+# ----------------------------------------------------------------------
+# Proof-logging toggle (the certification layer, repro.cert)
+# ----------------------------------------------------------------------
+_PROOF_ENV = "REPRO_SAT_PROOF"
+
+
+def _parse_proof_env(value: str) -> Tuple[bool, Optional[str]]:
+    """``REPRO_SAT_PROOF``: off / in-memory ("1") / also stream to a
+    path (any other value is taken as a file name)."""
+    text = value.strip()
+    lowered = text.lower()
+    if lowered in ("", "0", "false", "off", "no"):
+        return False, None
+    if lowered in ("1", "true", "on", "yes"):
+        return True, None
+    return True, text
+
+
+_proof_enabled, _proof_stream_path = \
+    _parse_proof_env(os.environ.get(_PROOF_ENV, ""))
+
+
+def proofs_enabled() -> bool:
+    """Whether new solvers log DRAT-style proof events.
+
+    Like profiling, the toggle is read at construction time only:
+    a solver either carries a :class:`~repro.cert.proof.ProofLog`
+    for its whole life or never pays a single hot-path branch.
+    """
+    return _proof_enabled
+
+
+def set_proofs_enabled(enabled: bool) -> bool:
+    """Set the proof-logging toggle; returns the previous value.
+
+    Only affects solvers constructed afterwards.
+    """
+    global _proof_enabled
+    previous = _proof_enabled
+    _proof_enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def use_proofs(enabled: bool) -> Iterator[None]:
+    """Scoped override of the proof-logging toggle (certified runs)."""
+    previous = set_proofs_enabled(enabled)
+    try:
+        yield
+    finally:
+        set_proofs_enabled(previous)
+
+
 #: Profiled search phases, in ``time_breakdown()`` key order.
 PROFILE_PHASES = ("propagate", "analyze", "decide")
 
@@ -228,6 +282,13 @@ class Solver:
         self._profile: Optional[Dict[str, float]] = \
             {phase: 0.0 for phase in PROFILE_PHASES} \
             if _profile_enabled else None
+        #: DRAT-style proof event log (repro.cert), or None when proof
+        #: logging was off at construction — the hot paths then guard
+        #: on a single ``is not None`` per batch/conflict/solve, the
+        #: same zero-cost-when-off contract as the profile wrappers.
+        self._proof: Optional[ProofLog] = \
+            ProofLog(stream_path=_proof_stream_path) \
+            if _proof_enabled else None
 
     def stats(self) -> Dict[str, int]:
         """A snapshot of the lifetime statistic totals."""
@@ -257,6 +318,22 @@ class Solver:
         May be called between :meth:`solve` calls (the solver first
         backtracks to decision level 0).
         """
+        if not self._ok:
+            return False
+        if self._proof is not None:
+            # Log the *original* clause — the checker's trust base is
+            # exactly what the caller asserted, not the level-0
+            # normalised residue (dropped literals are re-derived by
+            # unit propagation from the logged unit clauses).
+            lits = list(lits)
+            self._proof.input(lits)
+        return self._add_clause_raw(lits)
+
+    def _add_clause_raw(self, lits: Iterable[int]) -> bool:
+        """The normalising clause loader, *without* proof logging —
+        internal callers (bulk-load delegation) log the original
+        clause themselves and must not log its normalised residue as
+        a second input."""
         if not self._ok:
             return False
         self._cancel_until(0)
@@ -409,7 +486,10 @@ class Solver:
             if fault == _faults.FAULT_TIMEOUT:
                 # Behave exactly like a blown wall-clock deadline.
                 self.last_exhaustion = EXHAUSTED_DEADLINE
-            return UNKNOWN
+            if fault != _faults.FAULT_CORRUPT_MODEL:
+                return UNKNOWN
+            # corrupt_model runs the search normally and falsifies
+            # the *answer* afterwards (see below).
         if budget is not None:
             if budget.cancelled:
                 raise Cancelled(budget_name=budget.name)
@@ -418,7 +498,14 @@ class Solver:
                 self.last_exhaustion = reason
                 return UNKNOWN
             budget.charge_query()
-        return self._search(assumptions, conflict_budget, budget)
+        result = self._search(assumptions, conflict_budget, budget)
+        if fault == _faults.FAULT_CORRUPT_MODEL and result == SAT \
+                and self.model:
+            # The scripted decode/transport fault: the search was
+            # sound, but the reported model carries one flipped bit.
+            # Only witness replay (repro.cert) can notice.
+            self.model[0] = not self.model[0]
+        return result
 
     def _budget_stop(self, budget: Budget) -> Optional[str]:
         """Cooperative in-search budget check; raises on cancellation,
@@ -447,6 +534,7 @@ class Solver:
         models, trails) hold by construction.
         """
         if not self._ok:
+            self._conclude_unsat(())
             return UNSAT
         self._cancel_until(0)
         propagate = self._propagate
@@ -457,8 +545,10 @@ class Solver:
             propagate = _timed(propagate, acc, "propagate")
             analyze = _timed(analyze, acc, "analyze")
             pick_branch = _timed(pick_branch, acc, "decide")
+        fault_plan = _faults.active_plan()
         if propagate() is not None:
             self._ok = False
+            self._conclude_unsat(())
             return UNSAT
         assumptions = list(assumptions)
         budget_start = self.conflicts
@@ -473,8 +563,17 @@ class Solver:
                 conflicts_here += 1
                 if self._decision_level() == 0:
                     self._ok = False
+                    # A level-0 conflict refutes the formula outright
+                    # (no assumption decision is involved).
+                    self._conclude_unsat(())
                     return UNSAT
                 learnt, back_level = analyze(conflict)
+                if fault_plan is not None \
+                        and fault_plan.next_learnt(learnt):
+                    # Scripted soundness fault: the corrupted clause
+                    # is recorded, proof-logged and *used* exactly as
+                    # if conflict analysis had miscompiled it.
+                    obs.counter("faults.corrupt_learnt")
                 # Backtracking may unwind assumption levels; the decision
                 # loop below re-applies them (and reports UNSAT if one
                 # has become falsified by learned clauses).
@@ -517,6 +616,12 @@ class Solver:
                     self._trail_lim.append(len(self._trail))
                     continue
                 if val is False:
+                    # Refuted *under these assumptions*: everything on
+                    # the trail is unit-propagation-derivable from the
+                    # clause DB plus the assumption literals, so the
+                    # checker re-derives this conflict from the logged
+                    # clauses and the recorded assumptions alone.
+                    self._conclude_unsat(tuple(assumptions))
                     return UNSAT
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(lit)
@@ -546,6 +651,14 @@ class Solver:
     # ------------------------------------------------------------------
     # Shared internals
     # ------------------------------------------------------------------
+    def _conclude_unsat(self, assumptions: Tuple[int, ...]) -> None:
+        """Close the proof on an UNSAT return (no-op when logging is
+        off).  Every UNSAT exit of ``_search`` calls this with the
+        assumption literals the refutation is conditional on (the
+        empty tuple for an unconditional one)."""
+        if self._proof is not None:
+            self._proof.conclude_unsat(assumptions)
+
     def _decision_level(self) -> int:
         return len(self._trail_lim)
 
@@ -599,6 +712,12 @@ class Solver:
     def ok(self) -> bool:
         """False once the formula is known trivially UNSAT."""
         return self._ok
+
+    @property
+    def proof(self) -> Optional[ProofLog]:
+        """The DRAT-style proof event log, or None when proof logging
+        was off at construction (see :func:`use_proofs`)."""
+        return self._proof
 
     def trail_lits(self) -> List[int]:
         """The current assignment trail, as literals in enqueue order."""
@@ -714,8 +833,13 @@ class LegacySolver(Solver):
         watches = self._watches
         out = self._clauses
         append = out.append
-        slow = self.add_clause
+        slow = self._add_clause_raw
+        proof = self._proof
         for lits in clauses:
+            if proof is not None:
+                # Original literals, before any normalisation or
+                # watched-literal reordering mutates the list.
+                proof.input(lits)
             for lit in lits:
                 if assign[lit >> 1] is not None:
                     break
@@ -907,6 +1031,11 @@ class LegacySolver(Solver):
         return out
 
     def _record_learnt(self, learnt: List[int]) -> None:
+        if self._proof is not None:
+            # Post-minimization literals (minimization preserves RUP);
+            # unit learnts are logged too — they never enter _learnts,
+            # only the level-0 trail.
+            self._proof.learnt(learnt)
         if len(learnt) == 1:
             self._enqueue(learnt[0], None)
             return
@@ -962,7 +1091,10 @@ class LegacySolver(Solver):
                 removed.append(clause)
             else:
                 kept.append(clause)
+        proof = self._proof
         for clause in removed:
+            if proof is not None:
+                proof.delete(clause.lits)
             self._detach(clause)
         self._learnts = kept
 

@@ -274,6 +274,13 @@ class FrameTemplate:
         successor state; ``with_next=False`` stops at the core
         boundary (no latch hold-muxes — the COM frame-1 / enlargement
         S_0 shape).
+
+        Certification note: stamping goes through the backend's public
+        ``add_clause`` / ``add_clauses_bulk`` entry points, never a
+        private fast path — so when the solver's DRAT-style proof log
+        is armed (:func:`repro.sat.use_proofs`), every template-stamped
+        clause is recorded as an input event and templated runs certify
+        identically to direct encoding.
         """
         nslots = len(self.slots)
         tab = [0] * (2 * nslots + 2)

@@ -340,6 +340,38 @@ def run_workload(reg: obs.Registry,
         "bmc_exhaustion": aborted.exhaustion_reason,
     }
 
+    # Certification A/B: the same BMC window uncertified, then with
+    # the cert layer armed (proof logging + DRAT check + witness
+    # replay).  The verdict and depth must match exactly —
+    # certification observes, never steers — and the overhead ratio
+    # tracks the checker's cost revision over revision.
+    from ..cert import use_certification
+
+    cert_keys = ("cert.checked", "cert.failed", "cert.lemmas_checked",
+                 "cert.lemmas_trimmed")
+    cert_before = {key: reg.counter_value(key) for key in cert_keys}
+    with reg.span("bench/certification/plain") as plain_sp:
+        plain = bmc(bmc_net, max_depth=cfg["bmc_depth"])
+    with reg.span("bench/certification/certified") as cert_sp:
+        with use_certification(True):
+            certified = bmc(bmc_net, max_depth=cfg["bmc_depth"])
+    cert_deltas = {key.split(".", 1)[1]:
+                   reg.counter_value(key) - cert_before[key]
+                   for key in cert_keys}
+    sections["certification"] = {
+        "seconds": plain_sp.seconds + cert_sp.seconds,
+        "design": cfg["bmc_design"],
+        "depth": cfg["bmc_depth"],
+        "uncertified_seconds": plain_sp.seconds,
+        "certified_seconds": cert_sp.seconds,
+        "overhead_ratio": cert_sp.seconds / plain_sp.seconds
+        if plain_sp.seconds else None,
+        "status": certified.status,
+        "verdict_match": plain.status == certified.status
+        and plain.depth_checked == certified.depth_checked,
+        **cert_deltas,
+    }
+
     # Frame-encoding A/B on the profile's largest design: the direct
     # netlist walk vs cold/warm compiled-template stamping.
     with reg.span("bench/encode") as sp:
@@ -436,6 +468,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      f"{encode['encode_speedup']:.1f}x "
                      f"(direct {encode['direct_seconds']:.3f} s -> "
                      f"warm {encode['template_warm_seconds']:.3f} s)")
+    cert = artifact["sections"].get("certification", {})
+    if cert.get("overhead_ratio") is not None:
+        lines.append(f"  certification ({cert['design']}): "
+                     f"verdict_match={cert['verdict_match']}, "
+                     f"overhead {cert['overhead_ratio']:.2f}x, "
+                     f"{cert['checked']} check(s), "
+                     f"{cert['lemmas_checked']} lemma(s) verified")
     split = artifact["time_split"]
     lines.append(f"  time split: encode {split['encode_seconds']:.3f} s"
                  f" / solve {split['solve_seconds']:.3f} s")

@@ -9,22 +9,43 @@ Usage::
 Computes a back-translated diameter bound per target, then discharges
 it: BMC to the bound (complete), k-induction, or localization
 refinement.  Falsified targets can dump a counterexample waveform.
+
+``--certify`` arms the :mod:`repro.cert` layer for the whole run:
+every UNSAT window is DRAT-checked, every counterexample is replayed
+through the simulator, and a verdict that fails its check aborts the
+target with a nonzero exit instead of being reported.
 """
 
 from __future__ import annotations
 
 import argparse
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
+from .. import obs
+from ..cert import use_certification
 from ..core import TBVEngine
+from ..resilience import CertificationFailure
 from ..transform.localize_cegar import localization_refinement
 from ..unroll import bmc, k_induction
 from .io import load_netlist
 from .vcd import counterexample_to_vcd
 
 
+def _cert_summary() -> str:
+    """One-line certification tally from the active registry."""
+    reg = obs.get_registry()
+    checked = reg.counter_value("cert.checked")
+    failed = reg.counter_value("cert.failed")
+    lemmas = reg.counter_value("cert.lemmas_checked")
+    trimmed = reg.counter_value("cert.lemmas_trimmed")
+    return (f"certification: {checked} check(s), {failed} failure(s), "
+            f"{lemmas} lemma(s) verified, {trimmed} trimmed")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; nonzero when any target is falsified."""
+    """CLI entry point; nonzero when any target is falsified (or,
+    under ``--certify``, when any verdict fails certification)."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("netlist", help=".bench or .aag file")
     parser.add_argument("--strategy", default="COM,RET,COM")
@@ -34,6 +55,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         default="bmc")
     parser.add_argument("--vcd", default=None,
                         help="dump first counterexample as VCD")
+    parser.add_argument("--certify", action="store_true",
+                        help="DRAT-check UNSAT verdicts and replay "
+                             "counterexample witnesses; certification "
+                             "failures exit nonzero")
     args = parser.parse_args(argv)
 
     net = load_netlist(args.netlist)
@@ -43,50 +68,82 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for issue in validate_netlist(net):
         print(f"  lint: {issue.severity}[{issue.code}] {issue.message}")
     failures = 0
+    cert_failures = 0
     vcd_written = False
-    if args.method == "bmc":
-        engine = TBVEngine(args.strategy)
-        result = engine.run(net)
-        for report in result.reports:
-            label = report.name or f"t{report.target}"
-            if report.status == "proven":
-                print(f"  {label:<20} PROVEN (by transformation)")
-                continue
-            check = bmc(net, report.target, max_depth=args.max_depth,
-                        complete_bound=report.bound)
-            verdict = check.status.upper()
-            detail = ""
-            if check.status == "falsified":
-                failures += 1
-                detail = f" at depth {check.counterexample.depth}"
-                if args.vcd and not vcd_written:
-                    with open(args.vcd, "w") as handle:
-                        handle.write(counterexample_to_vcd(
-                            net, report.target, check.counterexample))
-                    vcd_written = True
-                    detail += f" (waveform: {args.vcd})"
-            elif check.status == "bounded":
-                detail = (f" (bound {report.bound} exceeds depth budget "
-                          f"{args.max_depth})")
-            print(f"  {label:<20} {verdict}{detail}")
-    elif args.method == "induction":
-        for target in net.targets:
-            label = net.gate(target).name or f"t{target}"
-            check = k_induction(net, target, max_k=args.max_depth)
-            if check.status == "falsified":
-                failures += 1
-            print(f"  {label:<20} {check.status.upper()} "
-                  f"(k = {check.depth_checked})")
-    else:
-        for target in net.targets:
-            label = net.gate(target).name or f"t{target}"
-            result = localization_refinement(
-                net, target, max_depth=args.max_depth)
-            if result.status == "falsified":
-                failures += 1
-            print(f"  {label:<20} {result.status.upper()} "
-                  f"({result.iterations} refinement(s), "
-                  f"{result.abstraction_registers} register(s) kept)")
+    scope = use_certification(True) if args.certify else nullcontext()
+    with scope:
+        if args.method == "bmc":
+            engine = TBVEngine(args.strategy)
+            result = engine.run(net)
+            for report in result.reports:
+                label = report.name or f"t{report.target}"
+                if report.status == "proven":
+                    print(f"  {label:<20} PROVEN (by transformation)")
+                    continue
+                try:
+                    check = bmc(net, report.target,
+                                max_depth=args.max_depth,
+                                complete_bound=report.bound)
+                except CertificationFailure as exc:
+                    cert_failures += 1
+                    print(f"  {label:<20} CERTIFICATION FAILED "
+                          f"({exc})")
+                    continue
+                verdict = check.status.upper()
+                detail = ""
+                if check.status == "falsified":
+                    failures += 1
+                    detail = f" at depth {check.counterexample.depth}"
+                    if args.vcd and not vcd_written:
+                        with open(args.vcd, "w") as handle:
+                            handle.write(counterexample_to_vcd(
+                                net, report.target,
+                                check.counterexample))
+                        vcd_written = True
+                        detail += f" (waveform: {args.vcd})"
+                elif check.status == "bounded":
+                    detail = (f" (bound {report.bound} exceeds depth "
+                              f"budget {args.max_depth})")
+                if args.certify and check.status in (
+                        "falsified", "proven", "bounded"):
+                    detail += " [certified]"
+                print(f"  {label:<20} {verdict}{detail}")
+        elif args.method == "induction":
+            for target in net.targets:
+                label = net.gate(target).name or f"t{target}"
+                try:
+                    check = k_induction(net, target,
+                                        max_k=args.max_depth)
+                except CertificationFailure as exc:
+                    cert_failures += 1
+                    print(f"  {label:<20} CERTIFICATION FAILED "
+                          f"({exc})")
+                    continue
+                if check.status == "falsified":
+                    failures += 1
+                print(f"  {label:<20} {check.status.upper()} "
+                      f"(k = {check.depth_checked})")
+        else:
+            for target in net.targets:
+                label = net.gate(target).name or f"t{target}"
+                try:
+                    result = localization_refinement(
+                        net, target, max_depth=args.max_depth)
+                except CertificationFailure as exc:
+                    cert_failures += 1
+                    print(f"  {label:<20} CERTIFICATION FAILED "
+                          f"({exc})")
+                    continue
+                if result.status == "falsified":
+                    failures += 1
+                print(f"  {label:<20} {result.status.upper()} "
+                      f"({result.iterations} refinement(s), "
+                      f"{result.abstraction_registers} register(s) "
+                      "kept)")
+    if args.certify:
+        print(f"  {_cert_summary()}")
+    if cert_failures:
+        return 2
     return 1 if failures else 0
 
 

@@ -11,13 +11,15 @@ ensure completeness of BMC".
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .. import obs
+from ..cert import certification_enabled, certify_unsat, certify_witness
 from ..netlist import Netlist
 from ..resilience import Budget, Cancelled
-from ..sat import SAT, UNKNOWN
+from ..sat import SAT, UNKNOWN, use_proofs
 from .unroller import Unrolling
 
 #: Verification statuses.
@@ -106,6 +108,7 @@ def bmc(
     conflict_budget: Optional[int] = None,
     budget: Optional[Budget] = None,
     use_template: Optional[bool] = None,
+    certify: Optional[bool] = None,
 ) -> BMCResult:
     """Check target reachability for depths ``0 .. max_depth - 1``.
 
@@ -119,13 +122,26 @@ def bmc(
     cancellation raises.  ``use_template`` forwards to
     :class:`~repro.unroll.unroller.Unrolling` (None = the global
     template toggle); either setting yields identical results.
+
+    ``certify`` (None = the :func:`repro.cert.certification_enabled`
+    toggle) arms verdict certification: the unrolling solver keeps a
+    DRAT-style proof log, refuted windows are checked by the
+    :mod:`repro.cert.drat` checker on exit, and counterexamples are
+    replayed through the bit-parallel simulator before FALSIFIED is
+    returned.  A verdict that fails its check raises
+    :class:`repro.resilience.CertificationFailure` instead of
+    returning.  ABORTED results are never certified (no verdict
+    stands).
     """
     if target is None:
         if not net.targets:
             raise ValueError("netlist has no targets")
         target = net.targets[0]
-    unroll = Unrolling(net, constrain_init=True,
-                       use_template=use_template)
+    do_cert = certification_enabled() if certify is None else certify
+    with use_proofs(True) if do_cert else _nullcontext():
+        unroll = Unrolling(net, constrain_init=True,
+                           use_template=use_template)
+    refuted = 0
     depth = max_depth
     if complete_bound is not None:
         depth = min(max_depth, complete_bound)
@@ -156,11 +172,19 @@ def bmc(
                             for i in range(t + 1)],
                     initial_state=unroll.state_values(model, 0),
                 )
+                if do_cert:
+                    certify_witness(net, target, cex, model=model,
+                                    unroll=unroll, engine="bmc")
+                    if refuted:
+                        certify_unsat(unroll.solver, "bmc")
                 return BMCResult(FALSIFIED, target, t + 1, cex)
             if result == UNKNOWN:
                 return BMCResult(
                     ABORTED, target, t,
                     exhaustion_reason=unroll.solver.last_exhaustion)
+            refuted += 1
+    if do_cert and refuted:
+        certify_unsat(unroll.solver, "bmc")
     if complete_bound is not None and depth >= complete_bound:
         return BMCResult(PROVEN, target, depth)
     return BMCResult(BOUNDED, target, depth)
@@ -174,6 +198,7 @@ def bmc_multi(
     conflict_budget: Optional[int] = None,
     budget: Optional[Budget] = None,
     use_template: Optional[bool] = None,
+    certify: Optional[bool] = None,
 ) -> Dict[int, BMCResult]:
     """Check many targets over one shared unrolling.
 
@@ -184,12 +209,21 @@ def bmc_multi(
     reusable).  ``complete_bounds`` optionally maps targets to their
     diameter bounds; a target whose window closes is PROVEN and not
     queried further.
+
+    ``certify`` follows the :func:`bmc` contract.  Witnesses are
+    replayed at discovery time; the shared solver's proof log —
+    which covers every refuted (target, frame) query — is checked
+    once after the sweep, so one check certifies every UNSAT-backed
+    verdict in the returned map.
     """
     if targets is None:
         targets = list(dict.fromkeys(net.targets))
     complete_bounds = complete_bounds or {}
-    unroll = Unrolling(net, constrain_init=True,
-                       use_template=use_template)
+    do_cert = certification_enabled() if certify is None else certify
+    with use_proofs(True) if do_cert else _nullcontext():
+        unroll = Unrolling(net, constrain_init=True,
+                           use_template=use_template)
+    refuted = 0
     results: Dict[int, BMCResult] = {}
     open_targets = list(dict.fromkeys(targets))
     reg = obs.get_registry()
@@ -222,17 +256,23 @@ def bmc_multi(
                             for i in range(t + 1)],
                     initial_state=unroll.state_values(model, 0),
                 )
+                if do_cert:
+                    certify_witness(net, target, cex, model=model,
+                                    unroll=unroll, engine="bmc.multi")
                 results[target] = BMCResult(FALSIFIED, target, t + 1, cex)
             elif outcome == UNKNOWN:
                 results[target] = BMCResult(
                     ABORTED, target, t,
                     exhaustion_reason=unroll.solver.last_exhaustion)
             else:
+                refuted += 1
                 still_open.append(target)
         obs.progress("bmc.multi", frame=t, of=max_depth,
                      open=len(still_open), resolved=len(results),
                      budget_s=_budget_remaining(budget))
         open_targets = still_open
+    if do_cert and refuted:
+        certify_unsat(unroll.solver, "bmc.multi")
     for target in open_targets:
         bound = complete_bounds.get(target)
         if bound is not None and max_depth >= bound:

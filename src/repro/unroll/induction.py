@@ -11,12 +11,15 @@ computation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _nullcontext
 from typing import Dict, Optional
 
 from .. import obs
+from ..cert import certification_enabled, certify_unsat
 from ..netlist import Netlist
 from ..resilience import Budget
-from ..sat import UNKNOWN, UNSAT, CnfSink, encode_xor2, lit_not, pos
+from ..sat import UNKNOWN, UNSAT, CnfSink, encode_xor2, lit_not, pos, \
+    use_proofs
 from .bmc import BMCResult, FALSIFIED, PROVEN, BOUNDED, ABORTED, \
     _budget_abort, _budget_remaining, bmc
 from .unroller import Unrolling
@@ -42,6 +45,7 @@ def k_induction(
     conflict_budget: Optional[int] = None,
     budget: Optional[Budget] = None,
     use_template: Optional[bool] = None,
+    certify: Optional[bool] = None,
 ) -> BMCResult:
     """Prove or falsify a target by k-induction up to ``max_k``.
 
@@ -63,25 +67,34 @@ def k_induction(
     a run); the ``induction.diff_clauses`` / ``induction.step_vars``
     counters expose the encoding size so the reduction is visible in
     bench artifacts.
+
+    ``certify`` (None = the global certification toggle) certifies
+    both halves of a PROVEN verdict: the base window through
+    :func:`~repro.unroll.bmc.bmc`'s own certification, and the step
+    refutation by DRAT-checking the step solver's proof log before
+    PROVEN is returned.  Failure raises
+    :class:`repro.resilience.CertificationFailure`.
     """
     if target is None:
         if not net.targets:
             raise ValueError("netlist has no targets")
         target = net.targets[0]
+    do_cert = certification_enabled() if certify is None else certify
     # Base cases are discharged incrementally by plain BMC.  Base and
     # step share one compiled frame template (the template cache is
     # keyed by netlist structure, not by unrolling).
     base = bmc(net, target, max_depth=max_k + 1,
                conflict_budget=conflict_budget, budget=budget,
-               use_template=use_template)
+               use_template=use_template, certify=do_cert)
     if base.status in (FALSIFIED, ABORTED):
         return base
 
     # Step: an unconstrained simple path of k+1 states with the target
     # false at 0..k-1 and true at k must be UNSAT for inductiveness.
     reg = obs.get_registry()
-    step = Unrolling(net, constrain_init=False,
-                     use_template=use_template)
+    with use_proofs(True) if do_cert else _nullcontext():
+        step = Unrolling(net, constrain_init=False,
+                         use_template=use_template)
     solver = step.solver
     for k in range(1, max_k + 1):
         reason = _budget_abort(budget)
@@ -105,6 +118,8 @@ def k_induction(
                      budget_s=_budget_remaining(budget))
         if result == UNSAT:
             reg.counter("induction.step_vars", solver.num_vars)
+            if do_cert:
+                certify_unsat(solver, "k-induction")
             return BMCResult(PROVEN, target, k)
         if result == UNKNOWN:
             return BMCResult(

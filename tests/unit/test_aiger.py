@@ -164,6 +164,27 @@ class TestParseBinary:
         with pytest.raises(NetlistError, match="delta"):
             parse_aiger(b"aig 3 2 0 1 1\n6\n\x00\x02")
 
+    def test_rejects_truncated_varint_mid_and(self):
+        # The AND section ends after the FIRST byte of a two-byte
+        # varint (0x8a has the continuation bit set) — a cut in the
+        # middle of a delta, not merely a missing delta.  Must be the
+        # named truncation diagnostic, never an IndexError.
+        with pytest.raises(NetlistError, match="truncated.*AND"):
+            parse_aiger(b"aig 71 70 0 1 1\n142\n\x8a")
+
+    def test_rejects_header_count_mismatch_names_fields(self):
+        # The M != I + L + A diagnostic spells out both sides.
+        with pytest.raises(NetlistError,
+                           match=r"M \(5\) must equal I \+ L \+ A"):
+            parse_aiger(b"aig 5 2 0 1 1\n6\n\x02\x02")
+
+    def test_rejects_bad_state_literal_out_of_range(self):
+        # A B (bad-state) line referencing a variable beyond M must
+        # be a named range diagnostic, not a downstream IndexError.
+        with pytest.raises(NetlistError,
+                           match="literal 99 exceeds maximum variable"):
+            parse_aiger(b"aig 1 0 1 0 0 1\n3\n99\n")
+
 
 class TestBadStateProperties:
     def test_ascii_bad_lines_become_targets(self):

@@ -1,0 +1,314 @@
+"""Unit tests for the certification layer (repro.cert).
+
+Covers the proof log container, the RUP/DRAT checker on hand-built
+event streams (including deletions, trimming, assumption conclusions
+and corruption rejection), witness replay, and the certify_* entry
+points' failure behavior.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cert import (
+    CertificationFailure,
+    ProofLog,
+    certification_enabled,
+    certify_unsat,
+    certify_witness,
+    check_events,
+    set_certification_enabled,
+    use_certification,
+)
+from repro.cert.drat import check_proof
+from repro.cert.witness import replay_witness
+from repro.netlist import NetlistBuilder
+from repro.sat import Solver, UNSAT, use_proofs
+from repro.unroll import bmc
+
+
+# Literal convention throughout: lit = 2*var + sign (sign 1 = negated).
+X, NX = 0, 1        # var 0
+Y, NY = 2, 3        # var 1
+Z, NZ = 4, 5        # var 2
+
+
+def counter_net(width, hit_value):
+    b = NetlistBuilder(f"counter{width}")
+    regs = b.registers(width, prefix="c")
+    b.connect_word(regs, b.increment(regs))
+    t = b.buf(b.word_eq(regs, b.word_const(hit_value, width)),
+              name="t")
+    b.net.add_target(t)
+    return b.net, t
+
+
+class TestProofLog:
+    def test_events_accumulate_in_order(self):
+        log = ProofLog()
+        log.input([X, Y])
+        log.learnt([Y])
+        log.delete([Y])
+        log.conclude_unsat((NX,))
+        assert log.events == [("i", (X, Y)), ("a", (Y,)),
+                              ("d", (Y,)), ("u", (NX,))]
+        assert len(log) == 4
+
+    def test_literals_are_snapshotted(self):
+        # The solver mutates clause lists in place (watch swaps); the
+        # log must keep the values at logging time.
+        log = ProofLog()
+        lits = [X, Y]
+        log.input(lits)
+        lits[0] = NX
+        assert log.events[0] == ("i", (X, Y))
+
+    def test_counts(self):
+        log = ProofLog()
+        log.input([X])
+        log.input([NX])
+        log.learnt([Y])
+        log.conclude_unsat(())
+        counts = log.counts()
+        assert counts["i"] == 2
+        assert counts["a"] == 1
+        assert counts["u"] == 1
+
+    def test_stream_path_writes_dimacs_lines(self, tmp_path):
+        path = tmp_path / "proof.drat"
+        log = ProofLog(stream_path=str(path))
+        log.input([X, NY])
+        log.learnt([Y])
+        log.delete([Y])
+        log.conclude_unsat((X,))
+        log.close()
+        lines = path.read_text().strip().splitlines()
+        # 0-based lit 0 -> DIMACS 1, lit 2 -> 2, lit 3 -> -2; learnt
+        # lines carry no prefix (plain DRAT additions).
+        assert lines[0].split() == ["i", "1", "-2", "0"]
+        assert lines[1].split() == ["2", "0"]
+        assert lines[2].split() == ["d", "2", "0"]
+        assert lines[3].split() == ["u", "1", "0"]
+
+
+class TestChecker:
+    def test_trivial_unit_conflict(self):
+        result = check_events([("i", (X,)), ("i", (NX,)), ("u", ())])
+        assert result.ok
+        assert result.conclusions == 1
+        assert result.core_inputs == 2
+
+    def test_rup_lemma_chain(self):
+        # F = (x|y)(~x|y)(x|~y)(~x|~y); lemma y is RUP, then empty.
+        events = [
+            ("i", (X, Y)), ("i", (NX, Y)),
+            ("i", (X, NY)), ("i", (NX, NY)),
+            ("a", (Y,)),
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert result.ok
+        assert result.lemmas_checked == 1
+        assert result.lemmas_trimmed == 0
+        assert result.core_inputs == 4
+
+    def test_assumption_conclusion(self):
+        # F = (x|y)(~x|y) is satisfiable; UNSAT only under ~y.
+        events = [("i", (X, Y)), ("i", (NX, Y)), ("u", (NY,))]
+        result = check_events(events)
+        assert result.ok
+        assert result.conclusions == 1
+
+    def test_non_rup_lemma_rejected(self):
+        # ~y is NOT implied by (x|y)(~x|y): propagating y conflicts
+        # nowhere.  A conclusion leaning on the corrupt lemma must
+        # mark it needed and then fail its RUP check.
+        events = [
+            ("i", (X, Y)), ("i", (NX, Y)),
+            ("a", (NY,)),               # corrupted lemma
+            ("u", (Y,)),                # conflict only via the lemma
+        ]
+        result = check_events(events)
+        assert not result.ok
+        assert any("not RUP" in err for err in result.errors)
+
+    def test_underivable_conclusion_rejected(self):
+        events = [("i", (X, Y)), ("u", ())]
+        result = check_events(events)
+        assert not result.ok
+        assert any("not derivable" in err for err in result.errors)
+
+    def test_deleted_lemma_is_restored_going_backward(self):
+        # The lemma is deleted before the conclusion; the conclusion
+        # must not use it, and backward checking re-activates it only
+        # for the timeline prefix where it was live.
+        events = [
+            ("i", (X, Y)), ("i", (NX, Y)),
+            ("a", (Y,)),
+            ("d", (Y,)),
+            ("u", (NY,)),
+        ]
+        result = check_events(events)
+        assert result.ok
+        assert result.deletions == 1
+        assert result.lemmas_trimmed == 1  # nothing needed the lemma
+
+    def test_deletion_matches_by_sorted_literal_tuple(self):
+        # Watched-literal swaps permute stored order after logging:
+        # the deletion arrives with a different permutation.
+        events = [
+            ("i", (X,)), ("i", (NX,)),
+            ("a", (Y, X)),
+            ("d", (X, Y)),
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert result.ok
+        assert result.deletions == 1
+
+    def test_deleting_never_added_clause_is_an_error(self):
+        result = check_events([("i", (X,)), ("d", (Y,)), ("u", ())],
+                              require_conclusion=False)
+        assert not result.ok
+        assert any("never added" in err for err in result.errors)
+
+    def test_conclusion_required_by_default(self):
+        result = check_events([("i", (X,)), ("i", (NX,))])
+        assert not result.ok
+        assert any("no UNSAT conclusion" in err
+                   for err in result.errors)
+        assert check_events([("i", (X,))],
+                            require_conclusion=False).ok
+
+    def test_duplicate_literals_in_inputs_still_propagate(self):
+        # Regression: XOR clauses over aliased frame literals log
+        # duplicated literals, e.g. (~z | x | x).  The checker's unit
+        # detection must not count the same unassigned literal twice.
+        events = [
+            ("i", (Z,)),
+            ("i", (NZ, X, X)),
+            ("i", (NZ, NX, NX)),
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert result.ok
+
+    def test_check_proof_wrapper(self):
+        log = ProofLog()
+        log.input([X])
+        log.input([NX])
+        log.conclude_unsat(())
+        assert check_proof(log).ok
+
+    def test_trimming_skips_unneeded_lemmas(self):
+        # An irrelevant (but valid) lemma off to the side is trimmed,
+        # not checked.
+        events = [
+            ("i", (X,)), ("i", (NX,)),
+            ("i", (Y, Z)),
+            ("a", (Y, Z)),   # subsumed copy; RUP but useless
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert result.ok
+        assert result.lemmas_trimmed == 1
+        assert result.lemmas_checked == 0
+
+
+class TestSolverProofIntegration:
+    def test_solver_unsat_proof_checks(self):
+        with use_proofs(True):
+            solver = Solver()
+        # Pigeonhole PHP(3,2): 3 pigeons, 2 holes.
+        holes = {(p, h): 2 * (p * 2 + h)
+                 for p in range(3) for h in range(2)}
+        for p in range(3):
+            solver.add_clause([holes[(p, 0)], holes[(p, 1)]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([holes[(p1, h)] ^ 1,
+                                       holes[(p2, h)] ^ 1])
+        assert solver.solve() == UNSAT
+        result = check_proof(solver.proof)
+        assert result.ok
+        assert result.conclusions == 1
+
+    def test_proof_off_by_default(self):
+        solver = Solver()
+        assert solver.proof is None
+
+
+class TestWitnessReplay:
+    def _cex(self):
+        net, t = counter_net(2, 2)
+        result = bmc(net, t, max_depth=5)
+        assert result.status == "falsified"
+        return net, t, result.counterexample
+
+    def test_genuine_witness_replays(self):
+        net, t, cex = self._cex()
+        report = replay_witness(net, t, cex)
+        assert report.ok
+        assert report.frames_checked == cex.depth + 1
+        assert report.mismatch_count == 0
+
+    def test_tampered_depth_rejected(self):
+        net, t, cex = self._cex()
+        cex.depth += 1
+        cex.inputs.append({})
+        report = replay_witness(net, t, cex)
+        assert not report.ok
+        assert report.mismatch_count > 0
+
+    def test_truncated_trace_rejected(self):
+        net, t, cex = self._cex()
+        cex.inputs.pop()
+        report = replay_witness(net, t, cex)
+        assert not report.ok
+
+
+class TestCertifyEntryPoints:
+    def test_toggle_roundtrip(self):
+        assert not certification_enabled()
+        with use_certification(True):
+            assert certification_enabled()
+            with use_certification(False):
+                assert not certification_enabled()
+            assert certification_enabled()
+        assert not certification_enabled()
+        set_certification_enabled(True)
+        try:
+            assert certification_enabled()
+        finally:
+            set_certification_enabled(False)
+
+    def test_certify_unsat_requires_proof_log(self):
+        solver = Solver()  # proofs off: nothing to check
+        with pytest.raises(CertificationFailure) as info:
+            certify_unsat(solver, "test")
+        assert info.value.stage == "proof"
+        assert info.value.engine == "test"
+
+    def test_certify_witness_rejects_tampered_cex(self):
+        net, t = counter_net(2, 2)
+        result = bmc(net, t, max_depth=5)
+        cex = result.counterexample
+        cex.depth += 1
+        cex.inputs.append({})
+        with obs.scoped(obs.Registry("cert-test")) as reg:
+            with pytest.raises(CertificationFailure) as info:
+                certify_witness(net, t, cex, engine="bmc")
+            snap = reg.snapshot()
+        assert info.value.stage == "witness"
+        assert snap["counters"]["cert.failed"] == 1
+
+    def test_failure_pickles_with_fields(self):
+        import pickle
+
+        err = CertificationFailure("bmc", stage="proof",
+                                   message="lemma 3 is not RUP")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, CertificationFailure)
+        assert clone.engine == "bmc"
+        assert clone.stage == "proof"
+        assert "not RUP" in str(clone)

@@ -57,6 +57,20 @@ def _instrumented(payload, budget):
     return payload
 
 
+def _stall(payload, budget):
+    # A worker that ignores its budget entirely: the scripted stall
+    # the parent-side watchdog exists to catch.
+    time.sleep(payload)
+    return "done"
+
+
+def _cert_instrumented(payload, budget):
+    reg = obs.get_registry()
+    reg.counter("cert.checked", 2)
+    reg.counter("cert.lemmas_checked", 5)
+    return payload
+
+
 class TestBudgetSpec:
     def test_none_budget_passes_through(self):
         assert BudgetSpec.capture(None) is None
@@ -191,6 +205,62 @@ class TestExecutorPooled:
             snap = reg.snapshot()
         assert snap["counters"]["parallel/pool/a/sat.conflicts"] == 7
         assert snap["counters"]["parallel/pool/b/sat.solve_calls"] == 3
+
+
+class TestWatchdog:
+    """The per-task wall-clock watchdog: a worker overrunning its
+    budget deadline past the grace factor is cancelled as a typed
+    exhaustion, without disturbing submission-order determinism."""
+
+    def test_watchdog_timeout_scales_allowance(self):
+        spec = BudgetSpec.capture(Budget(wall_seconds=2.0), name="x")
+        timeout = spec.watchdog_timeout()
+        # deadline (2.0) + grace (2.0 * (GRACE-1) = 2.0) + 0.5 floor.
+        assert 2.0 < timeout <= 4.6
+
+    def test_no_wall_deadline_means_no_watchdog(self):
+        spec = BudgetSpec.capture(Budget(conflicts=100), name="x")
+        assert spec.watchdog_timeout() is None
+
+    def test_watchdog_cancels_stalled_worker(self):
+        budget = Budget(wall_seconds=0.4, name="wd")
+        start = time.monotonic()
+        with obs.scoped(obs.Registry("parent")) as reg:
+            outcomes = ParallelExecutor(jobs=2, name="wd").map_tasks(
+                [(_stall, 30.0), (_double, 21)], budget=budget,
+                labels=["stall", "quick"])
+            snap = reg.snapshot()
+        elapsed = time.monotonic() - start
+        # The 30 s sleeper must not be waited out.
+        assert elapsed < 15.0
+        stalled, quick = outcomes
+        assert stalled.index == 0 and stalled.label == "stall"
+        assert isinstance(stalled.error, ResourceExhausted)
+        assert stalled.error.reason == "parallel.watchdog"
+        assert stalled.error.budget_name == "wd[stall]"
+        # The healthy worker's slot is untouched, in input order.
+        assert quick.index == 1 and quick.value == 42
+        assert snap["counters"]["parallel.watchdog_kills"] == 1
+
+    def test_prompt_workers_pass_untouched(self):
+        budget = Budget(wall_seconds=10.0, name="calm")
+        outcomes = ParallelExecutor(jobs=2).map(
+            _stall, [0.05, 0.05], budget=budget)
+        assert [o.value for o in outcomes] == ["done", "done"]
+
+
+class TestCertCounterFold:
+    def test_cert_counters_fold_unprefixed_too(self):
+        # Certification telemetry must stay globally additive so the
+        # bench certification section and the arbitration counters
+        # see worker-side checks.
+        with obs.scoped(obs.Registry("parent")) as reg:
+            ParallelExecutor(jobs=1, name="pool").map(
+                _cert_instrumented, ["a"], labels=["a"])
+            snap = reg.snapshot()
+        assert snap["counters"]["cert.checked"] == 2
+        assert snap["counters"]["cert.lemmas_checked"] == 5
+        assert snap["counters"]["parallel/pool/a/cert.checked"] == 2
 
 
 class TestTypedErrorPickles:
