@@ -7,10 +7,14 @@ unit propagation, the one inference rule simple enough to audit by
 eye.
 
 Checking is *backward*, DRAT-trim style.  The event timeline is first
-replayed structurally (pairing each deletion with the clause instance
-it removed — by sorted literal tuple, because the solver's
-watched-literal swaps permute stored literal order after the addition
-was logged).  The checker then walks the timeline in reverse:
+replayed structurally, pairing each deletion with exactly one clause
+*instance* it removed — matched by the canonical
+:func:`~repro.cert.proof.clause_key` (sorted literal set), because
+the solver's watched-literal swaps permute stored literal order and
+its add-time normalisation deduplicates literals after the addition
+was logged, while duplicate copies of one clause must remain distinct
+instances (deleting a copy leaves the others live).  The checker then
+walks the timeline in reverse:
 
 * at a ``u`` (UNSAT conclusion) event, unit propagation over the
   clauses active *at that point* plus the recorded assumption literals
@@ -41,7 +45,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from .proof import ProofLog
+from .proof import ProofLog, clause_key
 
 __all__ = ["CheckResult", "check_events", "check_proof"]
 
@@ -250,10 +254,15 @@ def check_events(
         if kind in ("i", "a"):
             clause = _Clause(tuple(lits), kind)
             clauses.append(clause)
-            by_key.setdefault(tuple(sorted(lits)), []).append(clause)
+            # Instances are stacked per canonical key (sorted literal
+            # *set* — clause_key): duplicate-literal forms of the same
+            # clause share one stack, while duplicate *copies* stay
+            # separate instances on it, so a deletion pops exactly one
+            # copy and leaves the rest live.
+            by_key.setdefault(clause_key(lits), []).append(clause)
             timeline.append((kind, clause))
         elif kind == "d":
-            stack = by_key.get(tuple(sorted(lits)))
+            stack = by_key.get(clause_key(lits))
             if not stack:
                 report(f"event #{index}: deletion of a clause never "
                        f"added: {tuple(lits)}")

@@ -12,10 +12,14 @@ performs, in order, as immutable events:
   unit learnts that never enter the learnt database proper.  Every
   ``a`` event must have the RUP property with respect to the clauses
   active at that point — this is what :mod:`repro.cert.drat` checks.
-* ``("d", lits)`` — a clause *deleted* by learnt-DB reduction.  The
-  solver's watched-literal scheme permutes clause literals in place
-  after the addition was logged, so deletions are matched by
-  *multiset* (sorted tuple), never by literal order.
+* ``("d", lits)`` — a clause *deleted* by learnt-DB reduction or by
+  the inprocessing pass (:mod:`repro.sat.simplify`: subsumption,
+  strengthening, variable elimination).  The solver's watched-literal
+  scheme permutes clause literals in place after the addition was
+  logged, so deletions are matched by the canonical
+  :func:`clause_key` (sorted literal *set*), never by literal order;
+  duplicate copies of a clause remain distinct instances — deleting
+  one leaves the others live (see :func:`clause_key`).
 * ``("u", assumptions)`` — an UNSAT *conclusion*: the solver claimed
   ``unsat`` under exactly these assumption literals (the empty tuple
   for an unconditional refutation).  Unit propagation over the active
@@ -35,10 +39,28 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["EVENT_KINDS", "ProofLog"]
+__all__ = ["EVENT_KINDS", "ProofLog", "clause_key"]
 
 #: Event tags, in the order they typically appear.
 EVENT_KINDS = ("i", "a", "d", "u")
+
+
+def clause_key(lits: Iterable[int]) -> Tuple[int, ...]:
+    """The canonical key under which deletion events are matched to
+    clause instances: the sorted *set* of literals.
+
+    Two properties matter, and both bit the naive sorted-tuple key:
+
+    * duplicate *literals* are semantically irrelevant — inputs are
+      logged pre-normalisation (e.g. XOR clauses over aliased frame
+      literals repeat a literal) while the solver's stored copy is
+      deduplicated, so a deletion of the stored form must still match
+      the logged instance;
+    * duplicate *copies* of a clause are distinct instances — the
+      checker keeps one bookkeeping stack per key, so deleting one
+      copy pops a single instance and leaves the other copies live.
+    """
+    return tuple(sorted(set(lits)))
 
 
 def _dimacs(lits: Tuple[int, ...]) -> str:
@@ -91,7 +113,8 @@ class ProofLog:
         self._log("a", lits)
 
     def delete(self, lits: Iterable[int]) -> None:
-        """Log a learnt-DB deletion (matched by sorted literal tuple)."""
+        """Log a clause deletion (learnt-DB reduction or inprocessing);
+        matched against one live instance by :func:`clause_key`."""
         self._log("d", lits)
 
     def conclude_unsat(self, assumptions: Iterable[int] = ()) -> None:

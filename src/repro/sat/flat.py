@@ -36,7 +36,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from .solver import Solver
+from .solver import Solver, debug_checks_enabled
 
 #: Words of header before a clause's literals in the arena.
 _HDR = 2
@@ -131,6 +131,10 @@ class FlatSolver(Solver):
         """
         if not self._ok:
             return False
+        if self._elim_count:
+            clauses = self._restore_for_bulk(clauses)
+            if not self._ok:
+                return False
         self._cancel_until(0)
         assign = self._assign
         arena = self._arena
@@ -174,6 +178,12 @@ class FlatSolver(Solver):
             if sat:
                 continue
             if len(keep) >= 2:
+                if proof is not None and len(keep) < len(lits):
+                    # Stored residue differs from the logged input
+                    # (level-0-false literals stripped): log it as a
+                    # RUP lemma so a later deletion of the stored
+                    # form matches a live instance in the checker.
+                    proof.learnt(keep)
                 cref = len(arena)
                 arena.append(len(keep))
                 arena.append(-1)
@@ -469,6 +479,8 @@ class FlatSolver(Solver):
         self._garbage = garbage
         if garbage * 2 > len(arena):
             self._compact()
+        if debug_checks_enabled():
+            self._debug_check_watches()
 
     def _detach(self, cref: int) -> None:
         arena = self._arena
@@ -527,6 +539,57 @@ class FlatSolver(Solver):
         self._arena = new
         self._cla_act = new_act
         self._garbage = 0
+
+    # ------------------------------------------------------------------
+    # Inprocessing primitives (driven by repro.sat.simplify)
+    # ------------------------------------------------------------------
+    def _simp_lits(self, cref: int) -> List[int]:
+        arena = self._arena
+        return arena[cref + 2: cref + 2 + arena[cref]]
+
+    def _simp_shrink(self, cref: int, new_lits: List[int]) -> None:
+        # Detach on the OLD watched literals before rewriting the
+        # arena words, then re-attach on the new first two — a
+        # strengthened clause's watchers are rebuilt, never inherited.
+        # The tail words between the new and old size become arena
+        # garbage (reclaimed by _compact).
+        self._detach(cref)
+        arena = self._arena
+        old_size = arena[cref]
+        size = len(new_lits)
+        arena[cref] = size
+        arena[cref + 2: cref + 2 + size] = new_lits
+        self._garbage += old_size - size
+        self._attach(cref)
+
+    def _simp_remove(self, cref: int) -> None:
+        self._detach(cref)
+        self._garbage += self._arena[cref] + _HDR
+
+    def _simp_gc(self) -> None:
+        if self._garbage * 2 > len(self._arena):
+            self._compact()
+
+    def _simp_clear_reasons(self) -> None:
+        reason = self._reason
+        for lit in self._trail:
+            reason[lit >> 1] = -1
+
+    def _debug_check_watches(self) -> None:
+        """Assert every watcher entry is consistent: the watched
+        literal sits in its clause's first two arena slots and the
+        blocker occurs in the clause.  Debug-only (full sweep)."""
+        arena = self._arena
+        for idx, ws in enumerate(self._watches):
+            lit = idx ^ 1
+            for i in range(0, len(ws), 2):
+                cref = ws[i]
+                lits = arena[cref + 2: cref + 2 + arena[cref]]
+                if lit not in lits[:2] or ws[i + 1] not in lits:
+                    raise RuntimeError(
+                        "watcher corruption: literal "
+                        f"{lit} watches clause ref {cref} "
+                        f"{tuple(lits)} (blocker {ws[i + 1]})")
 
     # ------------------------------------------------------------------
     # Introspection

@@ -46,7 +46,7 @@ from ..experiments.runner import PIPELINES, evaluate_design
 from ..gen import iscas89
 from ..netlist import s27
 from ..resilience import Budget, FaultPlan, inject
-from ..sat.solver import PROFILE_PHASES, use_sat_profile
+from ..sat.solver import PROFILE_PHASES, use_sat_profile, use_simplify
 from ..sat.template import clear_template_cache, use_templates
 from ..unroll import Unrolling, bmc, k_induction
 
@@ -372,6 +372,38 @@ def run_workload(reg: obs.Registry,
         **cert_deltas,
     }
 
+    # Inprocessing A/B: the same (unbudgeted) BMC window with the
+    # simplifier disabled, then enabled — solve-entry rounds eliminate
+    # most Tseitin gate variables before search.  Verdict and depth
+    # must match exactly; the counter deltas record how much work the
+    # simplifier did.
+    simp_keys = ("simplify.rounds", "simplify.subsumed",
+                 "simplify.strengthened", "simplify.eliminated_vars",
+                 "simplify.restored_vars")
+    simp_before = {key: reg.counter_value(key) for key in simp_keys}
+    with reg.span("bench/simplify/off") as off_sp:
+        with use_simplify(False):
+            simp_off = bmc(bmc_net, max_depth=cfg["bmc_depth"])
+    with reg.span("bench/simplify/on") as on_sp:
+        with use_simplify(True):
+            simp_on = bmc(bmc_net, max_depth=cfg["bmc_depth"])
+    simp_deltas = {key.split(".", 1)[1]:
+                   reg.counter_value(key) - simp_before[key]
+                   for key in simp_keys}
+    sections["simplify"] = {
+        "seconds": off_sp.seconds + on_sp.seconds,
+        "design": cfg["bmc_design"],
+        "depth": cfg["bmc_depth"],
+        "off_seconds": off_sp.seconds,
+        "on_seconds": on_sp.seconds,
+        "speedup": off_sp.seconds / on_sp.seconds
+        if on_sp.seconds else None,
+        "status": simp_on.status,
+        "verdict_match": simp_off.status == simp_on.status
+        and simp_off.depth_checked == simp_on.depth_checked,
+        **simp_deltas,
+    }
+
     # Frame-encoding A/B on the profile's largest design: the direct
     # netlist walk vs cold/warm compiled-template stamping.
     with reg.span("bench/encode") as sp:
@@ -475,6 +507,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      f"overhead {cert['overhead_ratio']:.2f}x, "
                      f"{cert['checked']} check(s), "
                      f"{cert['lemmas_checked']} lemma(s) verified")
+    simp = artifact["sections"].get("simplify", {})
+    if simp.get("speedup") is not None:
+        lines.append(f"  simplify ({simp['design']}): "
+                     f"verdict_match={simp['verdict_match']}, "
+                     f"{simp['speedup']:.2f}x (off "
+                     f"{simp['off_seconds']:.3f} s -> on "
+                     f"{simp['on_seconds']:.3f} s), "
+                     f"{simp['rounds']} round(s), "
+                     f"{simp['eliminated_vars']} var(s) eliminated")
     split = artifact["time_split"]
     lines.append(f"  time split: encode {split['encode_seconds']:.3f} s"
                  f" / solve {split['solve_seconds']:.3f} s")

@@ -173,6 +173,13 @@ def _seconds_metrics(artifact: Dict[str, Any]) -> Dict[str, float]:
         value = split.get(key)
         if isinstance(value, (int, float)):
             metrics[f"time_split.{key}"] = float(value)
+    # The inprocessing A/B sub-timings (artifacts since the simplify
+    # work); the combined section seconds are already covered above.
+    simp = artifact.get("sections", {}).get("simplify", {})
+    for key in ("off_seconds", "on_seconds"):
+        value = simp.get(key)
+        if isinstance(value, (int, float)):
+            metrics[f"sections.simplify.{key}"] = float(value)
     return metrics
 
 
@@ -230,6 +237,16 @@ def compare_artifacts(baseline: Dict[str, Any],
         regressed = cand_speedup < base_speedup / threshold
         row("encode.encode_speedup", float(base_speedup),
             float(cand_speedup), regressed, higher_better=True)
+
+    base_simp = baseline.get("sections", {}) \
+        .get("simplify", {}).get("speedup")
+    cand_simp = candidate.get("sections", {}) \
+        .get("simplify", {}).get("speedup")
+    if isinstance(base_simp, (int, float)) and \
+            isinstance(cand_simp, (int, float)):
+        regressed = cand_simp < base_simp / threshold
+        row("simplify.speedup", float(base_simp),
+            float(cand_simp), regressed, higher_better=True)
     return rows
 
 

@@ -176,6 +176,13 @@ class _InductiveChecker:
         result = solver.solve(assumptions + [diff],
                               conflict_budget=self.config.conflict_budget,
                               budget=self.budget)
+        # Retire the one-shot indicator: a level-0 unit permanently
+        # satisfies its guard clauses and removes the variable from
+        # the decision heap.  Without this, every query leaves a live
+        # unconstrained indicator behind, and the incremental solver
+        # wastes decisions and propagations on the accumulated junk in
+        # all later queries (hundreds per sweep).
+        solver.add_clause([lit_not(diff)])
         return result == UNSAT
 
     def pair_holds_at_init(self, a: int, b: int) -> bool:
@@ -190,7 +197,16 @@ class _InductiveChecker:
         result = solver.solve([diff],
                               conflict_budget=self.config.conflict_budget,
                               budget=self.budget)
+        solver.add_clause([lit_not(diff)])
         return result == UNSAT
+
+    def retire_assumptions(self, assumptions: List[int]) -> None:
+        """Retire a round's equality indicators once the round's
+        queries are done (they are never assumed again; the level-0
+        units satisfy their guard clauses for good)."""
+        solver = self.step_solver
+        for eq in assumptions:
+            solver.add_clause([lit_not(eq)])
 
 
 def _candidate_classes(net: Netlist, config: SweepConfig,
@@ -308,6 +324,7 @@ def _sweep(
                 if len(rest) > 1:
                     new_classes.append(rest)
             classes = new_classes
+            checker.retire_assumptions(assumptions)
             obs.progress(
                 "com.sweep", round=round_index, of=limit,
                 classes=len(classes),

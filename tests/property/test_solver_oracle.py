@@ -19,6 +19,7 @@ import random
 
 import pytest
 
+from repro.cert.drat import check_proof
 from repro.sat import (
     SAT,
     UNSAT,
@@ -26,7 +27,9 @@ from repro.sat import (
     LegacySolver,
     Solver,
     use_flat,
+    use_proofs,
 )
+from repro.sat.simplify import simplify_round
 
 
 def random_clauses(rng, num_vars, num_clauses, width=3):
@@ -210,6 +213,157 @@ class TestFacadeToggleEndToEnd:
         with use_flat(False):
             legacy = run()
         assert flat == legacy
+
+
+def brute_force_under(num_vars, clauses, assumptions):
+    """Brute force with assumption literals forced true."""
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if any(bits[l >> 1] == (l & 1 == 1) for l in assumptions):
+            continue
+        if all(any(bits[l >> 1] != (l & 1 == 1) for l in c)
+               for c in clauses):
+            return True
+    return False
+
+
+def run_simplify_script(core, num_vars, script):
+    """Like :func:`run_script` but with a ``("simp", ())`` op that
+    fires an explicit inprocessing round.  A round can refute the
+    formula outright; from then on the runner records the refutation
+    instead of calling solve() on the dismantled state (exactly what
+    ``_search`` does when a mid-search round returns False)."""
+    solver = core()
+    solver.new_vars(num_vars)
+    out = []
+    refuted = False
+    for op, payload in script:
+        if op == "add":
+            out.append(solver.add_clause(list(payload)))
+            refuted = refuted or not solver.ok
+        elif op == "simp":
+            if not refuted:
+                refuted = not simplify_round(solver)
+            out.append(("simp", refuted, solver.stats()))
+        elif op == "solve":
+            if refuted:
+                out.append("refuted")
+            else:
+                result = solver.solve(list(payload))
+                out.append((result,) + observe(solver))
+        else:  # pragma: no cover
+            raise AssertionError(op)
+    return out, refuted, solver
+
+
+class TestSimplifyEquivalence:
+    """The inprocessing driver is shared by both cores and must keep
+    the exact-equivalence contract: same rounds, same deletions, same
+    resulting search behaviour (satellite of the inprocessing PR)."""
+
+    def test_one_shot_with_round_matches_brute_force(self):
+        rng = random.Random(0x51A1)
+        for trial in range(40):
+            nv = rng.randint(3, 9)
+            clauses = random_clauses(rng, nv, rng.randint(2, 4 * nv))
+            script = [("add", c) for c in clauses]
+            script += [("simp", ()), ("solve", ())]
+            legacy, lref, ls = run_simplify_script(
+                LegacySolver, nv, script)
+            flat, fref, fs = run_simplify_script(
+                FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}: {clauses}"
+            expected = brute_force_sat(nv, clauses)
+            if lref:
+                assert not expected, f"trial {trial}: {clauses}"
+            else:
+                result = legacy[-1][0]
+                assert result == (SAT if expected else UNSAT), \
+                    f"trial {trial}: {clauses}"
+                if result == SAT:
+                    # Reconstructed models must satisfy the ORIGINAL
+                    # clauses, not just the simplified database.
+                    check_model(legacy[-1][1], clauses)
+                    check_model(flat[-1][1], clauses)
+
+    def test_incremental_reintroduction_of_eliminated_vars(self):
+        # Clauses added after a round may mention eliminated
+        # variables; restoration must leave both cores equivalent and
+        # the combined formula's verdict intact.
+        rng = random.Random(0x51A2)
+        for trial in range(30):
+            nv = rng.randint(4, 8)
+            first = random_clauses(rng, nv, rng.randint(2, 2 * nv))
+            second = random_clauses(rng, nv, rng.randint(1, nv))
+            script = [("add", c) for c in first]
+            script += [("simp", ()), ("solve", ())]
+            script += [("add", c) for c in second]
+            script += [("solve", ())]
+            legacy, lref, ls = run_simplify_script(
+                LegacySolver, nv, script)
+            flat, _, fs = run_simplify_script(FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}"
+            if not lref and legacy[-1] != "refuted":
+                expected = brute_force_sat(nv, first + second)
+                assert legacy[-1][0] == \
+                    (SAT if expected else UNSAT), f"trial {trial}"
+                if expected:
+                    check_model(legacy[-1][1], first + second)
+
+    def test_assumptions_over_potentially_eliminated_vars(self):
+        # solve(assumptions) must freeze-and-restore: an assumption
+        # over an eliminated variable is answered against the full
+        # original formula.
+        rng = random.Random(0x51A3)
+        for trial in range(30):
+            nv = rng.randint(4, 8)
+            clauses = random_clauses(rng, nv, rng.randint(2, 3 * nv))
+            assumption_sets = []
+            for _ in range(3):
+                vs = rng.sample(range(nv), rng.randint(1, 2))
+                assumption_sets.append(
+                    [2 * v + (rng.random() < 0.5) for v in vs])
+            script = [("add", c) for c in clauses] + [("simp", ())]
+            script += [("solve", a) for a in assumption_sets]
+            legacy, lref, _ = run_simplify_script(
+                LegacySolver, nv, script)
+            flat, _, _ = run_simplify_script(FlatSolver, nv, script)
+            assert legacy == flat, f"trial {trial}"
+            if lref:
+                assert not brute_force_sat(nv, clauses)
+                continue
+            for obs_entry, assumptions in zip(
+                    legacy[-len(assumption_sets):], assumption_sets):
+                expected = brute_force_under(nv, clauses, assumptions)
+                assert obs_entry[0] == (SAT if expected else UNSAT), \
+                    f"trial {trial}: {assumptions}"
+
+    def test_certified_php_with_inprocessing(self):
+        # Natural restarts fire rounds mid-search; the emitted proof
+        # must check, identically from both cores.
+        def php(core):
+            with use_proofs(True):
+                s = core()
+            s._use_simplify = True
+            pigeons, holes = 5, 4
+            var = {(p, h): s.new_var() for p in range(pigeons)
+                   for h in range(holes)}
+            for p in range(pigeons):
+                s.add_clause([2 * var[p, h] for h in range(holes)])
+            for h in range(holes):
+                for p1 in range(pigeons):
+                    for p2 in range(p1 + 1, pigeons):
+                        s.add_clause([2 * var[p1, h] + 1,
+                                      2 * var[p2, h] + 1])
+            result = s.solve()
+            check = check_proof(s.proof)
+            assert check.ok, check.errors[:3]
+            return (result, s.clause_lits(), s.learnt_lits(),
+                    s.stats(), s.proof.counts())
+
+        legacy = php(LegacySolver)
+        flat = php(FlatSolver)
+        assert legacy[0] == UNSAT
+        assert legacy == flat
 
 
 @pytest.mark.bench

@@ -118,6 +118,31 @@ def test_committed_pr4_artifact_has_encode_section():
     assert encode["encode_speedup"] >= 3.0
 
 
+def test_committed_pr8_artifact_has_simplify_section():
+    path = REPO_ROOT / "benchmarks" / "BENCH_pr8.json"
+    assert path.exists(), "benchmarks/BENCH_pr8.json must be committed"
+    artifact = json.loads(path.read_text())
+    assert artifact["rev"] == "pr8"
+    _validate_artifact(artifact)
+    simp = artifact["sections"]["simplify"]
+    for key in ("design", "off_seconds", "on_seconds", "speedup",
+                "verdict_match", "rounds", "subsumed", "strengthened",
+                "eliminated_vars", "restored_vars"):
+        assert key in simp, f"missing simplify key {key!r}"
+    # Inprocessing must observe, never steer.
+    assert simp["verdict_match"] is True
+    assert simp["rounds"] >= 1
+    assert simp["eliminated_vars"] >= 1
+    # The PR's headline: retired sweep indicators + inprocessing cut
+    # decisions and total solve time against the pr7 baseline.
+    pr7 = json.loads(
+        (REPO_ROOT / "benchmarks" / "BENCH_pr7.json").read_text())
+    assert artifact["solver"]["sat.decisions"] < \
+        pr7["solver"]["sat.decisions"]
+    assert artifact["time_split"]["solve_seconds"] < \
+        pr7["time_split"]["solve_seconds"]
+
+
 def test_smoke_profile_validates_schema(tmp_path):
     """Tier-1 end-to-end run of the smallest bench profile: keeps the
     v2 artifact schema (encode section, time split) honest without

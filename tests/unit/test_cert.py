@@ -171,6 +171,52 @@ class TestChecker:
         assert not result.ok
         assert any("never added" in err for err in result.errors)
 
+    def test_duplicate_copies_are_distinct_instances(self):
+        # Regression: an input clause loaded twice is two instances.
+        # Deleting one copy must leave the other live — the conclusion
+        # below depends on the surviving (X, Y).
+        events = [
+            ("i", (X, Y)), ("i", (X, Y)),
+            ("i", (NX,)), ("i", (NY,)),
+            ("d", (X, Y)),
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert result.ok
+        assert result.deletions == 1
+
+    def test_deleting_every_copy_then_needing_one_fails(self):
+        # Both copies deleted: the conclusion genuinely has nothing to
+        # conflict on, and a third deletion underflows the instance
+        # stack.
+        events = [
+            ("i", (X, Y)), ("i", (X, Y)),
+            ("i", (NX,)), ("i", (NY,)),
+            ("d", (X, Y)), ("d", (X, Y)),
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert not result.ok
+        assert result.deletions == 2
+        assert any("not derivable" in err for err in result.errors)
+
+        third = check_events(events[:-1] + [("d", (X, Y)), ("u", ())])
+        assert any("never added" in err for err in third.errors)
+
+    def test_duplicate_literal_input_matches_deduplicated_deletion(self):
+        # Regression: inputs are logged pre-normalisation — (X, X, Y)
+        # — while the solver stores and later deletes the deduplicated
+        # (X, Y).  The canonical clause_key must pair them.
+        events = [
+            ("i", (X, X, Y)),
+            ("i", (X,)), ("i", (NX,)),
+            ("d", (X, Y)),
+            ("u", ()),
+        ]
+        result = check_events(events)
+        assert result.ok
+        assert result.deletions == 1
+
     def test_conclusion_required_by_default(self):
         result = check_events([("i", (X,)), ("i", (NX,))])
         assert not result.ok
