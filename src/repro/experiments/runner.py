@@ -266,7 +266,11 @@ def _run_table_parallel(generate: Callable[..., Netlist],
             return [RowResult(payload["name"],
                               error=f"budget exhausted ({reason})")
                     for payload in payloads]
-    executor = ParallelExecutor(jobs=jobs, name="table")
+    # Work-stealing engine: rows are heterogeneous (one big design can
+    # dwarf the rest), so workers steal from a shared queue instead of
+    # receiving a fixed pre-split; outcomes still merge in submission
+    # order, keeping the rendered table byte-identical at any jobs.
+    executor = ParallelExecutor(jobs=jobs, name="table", stealing=True)
     outcomes = executor.map(run_design, payloads, budget=budget,
                             labels=[p["name"] for p in payloads])
     rows: List[RowResult] = []

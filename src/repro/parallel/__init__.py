@@ -12,6 +12,14 @@ through the existing :class:`~repro.resilience.EngineFailure` path,
 and each worker's obs snapshot folds into the parent registry under a
 ``parallel/`` prefix.
 
+Two engines share that contract.  The original pool ships one future
+and one pre-split budget slice per task; the work-stealing engine
+(:mod:`repro.parallel.stealing`, ``stealing=True``) has workers steal
+task indices from a shared deque under one shared cross-process budget
+pool, and supports first-win cancellation races — used by the
+experiment grid and by :mod:`repro.sat.cube`'s cube-and-conquer solve
+path.
+
 Entry points: ``--jobs N`` on the ``table1`` / ``table2`` / ``report``
 / ``bound`` / ``bench`` CLIs, or the ``jobs=`` keyword on
 :func:`repro.core.portfolio.compare_strategies`,
@@ -23,11 +31,13 @@ Stdlib-only, like every substrate layer below it.
 """
 
 from .executor import BudgetSpec, ParallelExecutor, WorkerOutcome
+from .stealing import SharedBudget
 from . import workers
 
 __all__ = [
     "BudgetSpec",
     "ParallelExecutor",
+    "SharedBudget",
     "WorkerOutcome",
     "workers",
 ]

@@ -46,6 +46,22 @@ Protocol invariants (see ``docs/architecture.md``, Layer 0.7):
 sequential loops, and :meth:`ParallelExecutor.map` itself degrades to
 an in-process loop (used by tests and by call sites that want one
 code path).
+
+Since PR 9 the executor has a second engine, selected per instance
+with ``stealing=True`` (or implied by a ``first_win`` predicate): the
+work-stealing queue of :mod:`repro.parallel.stealing`.  Instead of one
+future and one pre-split budget slice per task, workers steal task
+indices from a shared deque and charge one *shared* cross-process
+conflict/query pool under the common wall deadline — so budget flows
+to the tasks that need it and no worker idles behind a static split.
+The join is unchanged: outcomes come back in submission order, so the
+determinism contract (byte-identical tables at any ``--jobs``) holds
+in both engines.  ``first_win`` adds first-win cancellation on top:
+the first ok outcome satisfying the predicate sets the pool-wide
+cancel event, which reaches losers through their budgets' per-conflict
+cancellation checks; their :class:`Cancelled` / exhausted outcomes are
+then *not* re-raised at the join (the caller's join rule — e.g.
+:func:`repro.sat.cube.join_cubes` — owns error precedence).
 """
 
 from __future__ import annotations
@@ -164,7 +180,8 @@ class WorkerOutcome:
 def _run_task(fn: Callable[[Any, Optional[Budget]], Any],
               payload: Any,
               spec: Optional[BudgetSpec],
-              fault_config: Optional[dict]) -> tuple:
+              fault_config: Optional[dict],
+              budget: Optional[Budget] = None) -> tuple:
     """The worker-side shim (module-level so the pool can pickle it).
 
     Runs ``fn(payload, budget)`` under a fresh scoped registry and the
@@ -183,7 +200,8 @@ def _run_task(fn: Callable[[Any, Optional[Budget]], Any],
     obs.trace.progress_from_env()
     watch = obs.stopwatch()
     with obs.scoped(obs.Registry("worker")) as reg:
-        budget = spec.restore() if spec is not None else None
+        if budget is None:
+            budget = spec.restore() if spec is not None else None
         plan = _faults.FaultPlan(**fault_config) \
             if fault_config is not None else None
         try:
@@ -213,35 +231,46 @@ class ParallelExecutor:
     worker telemetry lands under ``parallel/<name>/<label>``.
     """
 
-    def __init__(self, jobs: int = 1, name: str = "pool") -> None:
+    def __init__(self, jobs: int = 1, name: str = "pool",
+                 stealing: bool = False) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.name = name
+        self.stealing = stealing
+        #: Metadata of the last work-stealing run (first-win index,
+        #: cancel latency, watchdog/crash slots) — read by the cube
+        #: driver and the bench cancellation-latency probe.
+        self.last_race: dict = {}
 
     # ------------------------------------------------------------------
     def map(self,
             fn: Callable[[Any, Optional[Budget]], Any],
             payloads: Sequence[Any],
             budget: Optional[Budget] = None,
-            labels: Optional[Sequence[str]] = None
+            labels: Optional[Sequence[str]] = None,
+            first_win: Optional[Callable[[Any], bool]] = None
             ) -> List[WorkerOutcome]:
         """Run ``fn(payload, budget-slice)`` for every payload.
 
         ``fn`` must be a module-level function (the pool pickles it by
-        reference).  ``budget`` is pre-split equally: each task gets a
-        ``slice(1/n)`` of the remains at submission time.  The result
-        list is ordered by input index regardless of completion order;
-        a cancelled budget raises :class:`Cancelled` at the join,
-        every other failure is an outcome.
+        reference).  In the default engine ``budget`` is pre-split
+        equally (each task gets a ``slice(1/n)`` of the remains at
+        submission time); in stealing mode the pool shares one budget
+        view instead.  The result list is ordered by input index
+        regardless of completion order; a cancelled budget raises
+        :class:`Cancelled` at the join, every other failure is an
+        outcome.  ``first_win`` implies stealing mode.
         """
         return self.map_tasks([(fn, payload) for payload in payloads],
-                              budget=budget, labels=labels)
+                              budget=budget, labels=labels,
+                              first_win=first_win)
 
     def map_tasks(self,
                   tasks: Sequence[tuple],
                   budget: Optional[Budget] = None,
-                  labels: Optional[Sequence[str]] = None
+                  labels: Optional[Sequence[str]] = None,
+                  first_win: Optional[Callable[[Any], bool]] = None
                   ) -> List[WorkerOutcome]:
         """Like :meth:`map`, but each task is its own ``(fn, payload)``
         pair — used for heterogeneous races (e.g. ``prove``'s quick-BMC
@@ -253,17 +282,22 @@ class ParallelExecutor:
             else [str(i) for i in range(len(tasks))]
         if len(labels) != len(tasks):
             raise ValueError("labels/tasks length mismatch")
-        specs = self._specs(budget, labels, len(tasks))
         plan = _faults.active_plan()
         fault_config = plan.config() if plan is not None else None
-        if self.jobs == 1 or len(tasks) == 1:
+        if self.stealing or first_win is not None:
+            outcomes = self._stolen(tasks, labels, budget,
+                                    fault_config, first_win)
+        elif self.jobs == 1 or len(tasks) == 1:
+            specs = self._specs(budget, labels, len(tasks))
             raw = [_run_task(fn, payload, spec, None)
                    for (fn, payload), spec in zip(tasks, specs)]
             outcomes = [self._decode(i, labels[i], raw[i])
                         for i in range(len(raw))]
         else:
+            specs = self._specs(budget, labels, len(tasks))
             outcomes = self._pooled(tasks, specs, labels, fault_config)
-        self._merge(outcomes, budget)
+        self._merge(outcomes, budget,
+                    reraise_cancelled=first_win is None)
         return outcomes
 
     # ------------------------------------------------------------------
@@ -345,6 +379,86 @@ class ParallelExecutor:
                 pool.shutdown(wait=True)
         return [outcome for outcome in outcomes if outcome is not None]
 
+    # ------------------------------------------------------------------
+    # Work-stealing engine
+    # ------------------------------------------------------------------
+    def _stolen(self, tasks, labels, budget, fault_config,
+                first_win) -> List[WorkerOutcome]:
+        """Run tasks through the shared-deque engine (see
+        :mod:`repro.parallel.stealing`); in-process when ``jobs`` (or
+        the task count) is 1 — sequential draining of the same queue
+        semantics, with first-win early exit."""
+        from . import stealing as _stealing
+
+        if budget is not None and budget.cancelled:
+            raise Cancelled(budget_name=budget.name)
+        reg = obs.get_registry()
+        self.last_race = {}
+        if self.jobs == 1 or len(tasks) == 1:
+            return self._stolen_in_process(tasks, labels, budget,
+                                           first_win)
+        spec = BudgetSpec.capture(budget, name=self.name)
+        raws, meta = _stealing.execute(
+            tasks, labels, spec, fault_config,
+            min(self.jobs, len(tasks)), self.name, first_win)
+        self.last_race = meta
+        outcomes: List[WorkerOutcome] = []
+        for i, raw in enumerate(raws):
+            if raw is not None:
+                outcomes.append(self._decode(i, labels[i], raw))
+            elif i in meta.get("watchdog", ()):
+                reg.counter("parallel.watchdog_kills")
+                reg.event("parallel.watchdog", label=labels[i],
+                          budget=spec.name if spec else self.name)
+                outcomes.append(WorkerOutcome(
+                    index=i, label=labels[i],
+                    error=ResourceExhausted(
+                        "parallel.watchdog",
+                        f"worker {labels[i]!r} overran the pool wall "
+                        "deadline past the watchdog grace; task "
+                        "cancelled",
+                        budget_name=f"{self.name}[{labels[i]}]")))
+            else:
+                outcomes.append(WorkerOutcome(
+                    index=i, label=labels[i],
+                    error=EngineFailure(
+                        "parallel.worker",
+                        f"worker running {labels[i]!r} crashed")))
+        return outcomes
+
+    def _stolen_in_process(self, tasks, labels, budget,
+                           first_win) -> List[WorkerOutcome]:
+        """The ``jobs=1`` drain: same shared-budget semantics (tasks
+        drain one pool through subbudget views of a single restored
+        budget), same first-win early exit (later tasks short-circuit
+        to :class:`Cancelled`), no processes."""
+        spec = BudgetSpec.capture(budget, name=self.name)
+        shared = spec.restore() if spec is not None else None
+        outcomes: List[WorkerOutcome] = []
+        won = False
+        win_at = None
+        for i, (fn, payload) in enumerate(tasks):
+            name = f"{self.name}[{labels[i]}]"
+            if won:
+                outcomes.append(WorkerOutcome(
+                    index=i, label=labels[i],
+                    error=Cancelled(budget_name=name)))
+                continue
+            child = shared.subbudget(name=name) \
+                if shared is not None else None
+            raw = _run_task(fn, payload, None, None, budget=child)
+            outcome = self._decode(i, labels[i], raw)
+            outcomes.append(outcome)
+            if first_win is not None and outcome.ok and \
+                    first_win(outcome.value):
+                won = True
+                win_at = time.monotonic()
+                self.last_race = {"first_win_index": i}
+        if win_at is not None:
+            self.last_race["cancel_latency"] = \
+                time.monotonic() - win_at
+        return outcomes
+
     @staticmethod
     def _decode(index: int, label: str, raw: tuple) -> WorkerOutcome:
         kind, value, snapshot, seconds = raw
@@ -355,11 +469,14 @@ class ParallelExecutor:
                              seconds=seconds, snapshot=snapshot)
 
     def _merge(self, outcomes: List[WorkerOutcome],
-               budget: Optional[Budget]) -> None:
+               budget: Optional[Budget],
+               reraise_cancelled: bool = True) -> None:
         """Fold worker telemetry into the parent registry and charge
         the parent budget with the reported solver effort; re-raise a
         worker-side :class:`Cancelled` (cooperative cancellation always
-        propagates)."""
+        propagates — except under a ``first_win`` race, where a
+        loser's cancellation is bookkeeping and the caller's join rule
+        owns error precedence)."""
         reg = obs.get_registry()
         for outcome in outcomes:
             reg.counter("parallel.tasks")
@@ -382,7 +499,8 @@ class ParallelExecutor:
                         budget.charge_conflicts(conflicts)
                     if queries:
                         budget.charge_query(queries)
-            if isinstance(outcome.error, Cancelled):
+            if reraise_cancelled and isinstance(outcome.error,
+                                                Cancelled):
                 raise outcome.error
             if isinstance(outcome.error, EngineFailure) and \
                     outcome.error.engine == "parallel.worker":

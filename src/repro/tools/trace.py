@@ -20,7 +20,8 @@ loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
 ``regress`` compares two committed bench artifacts
 (``benchmarks/BENCH_<rev>.json``) metric by metric — per-section
 seconds, the encode/solve time split, solver effort counters, and the
-``encode_speedup`` headline — and exits nonzero when any metric
+``encode_speedup`` / ``simplify.speedup`` / ``cube.speedup``
+higher-is-better headlines — and exits nonzero when any metric
 regressed beyond the threshold, making the perf trajectory CI-gateable:
 
     python -m repro.tools.trace regress benchmarks/BENCH_pr3.json \
@@ -247,6 +248,16 @@ def compare_artifacts(baseline: Dict[str, Any],
         regressed = cand_simp < base_simp / threshold
         row("simplify.speedup", float(base_simp),
             float(cand_simp), regressed, higher_better=True)
+
+    base_cube = baseline.get("sections", {}) \
+        .get("cube", {}).get("speedup")
+    cand_cube = candidate.get("sections", {}) \
+        .get("cube", {}).get("speedup")
+    if isinstance(base_cube, (int, float)) and \
+            isinstance(cand_cube, (int, float)):
+        regressed = cand_cube < base_cube / threshold
+        row("cube.speedup", float(base_cube),
+            float(cand_cube), regressed, higher_better=True)
     return rows
 
 

@@ -20,6 +20,7 @@ from ..cert import certification_enabled, certify_unsat, certify_witness
 from ..netlist import Netlist
 from ..resilience import Budget, Cancelled
 from ..sat import SAT, UNKNOWN, use_proofs
+from ..sat import cube as _cube
 from .unroller import Unrolling
 
 #: Verification statuses.
@@ -109,6 +110,7 @@ def bmc(
     budget: Optional[Budget] = None,
     use_template: Optional[bool] = None,
     certify: Optional[bool] = None,
+    use_cubes: Optional[bool] = None,
 ) -> BMCResult:
     """Check target reachability for depths ``0 .. max_depth - 1``.
 
@@ -132,16 +134,26 @@ def bmc(
     :class:`repro.resilience.CertificationFailure` instead of
     returning.  ABORTED results are never certified (no verdict
     stands).
+
+    ``use_cubes`` (None = the :func:`repro.sat.cube.cubes_enabled`
+    toggle) arms the cube-and-conquer path: a frame query that burns
+    the configured conflict threshold inconclusively is split into a
+    cube set and raced across workers (see :mod:`repro.sat.cube`).
+    Verdicts, bounds and ``depth_checked`` are identical either way;
+    a SAT frame's counterexample may come from any cube (each is
+    certified by replay when ``certify`` is armed).
     """
     if target is None:
         if not net.targets:
             raise ValueError("netlist has no targets")
         target = net.targets[0]
     do_cert = certification_enabled() if certify is None else certify
+    cubes = _cube.cubes_enabled() if use_cubes is None else use_cubes
     with use_proofs(True) if do_cert else _nullcontext():
         unroll = Unrolling(net, constrain_init=True,
                            use_template=use_template)
     refuted = 0
+    refuted_local = 0  # frames refuted by *this* solver's own proof
     depth = max_depth
     if complete_bound is not None:
         depth = min(max_depth, complete_bound)
@@ -154,36 +166,60 @@ def bmc(
                 return BMCResult(ABORTED, target, t,
                                  exhaustion_reason=reason)
             lit = unroll.literal(target, t)
+            attempt = None
             with reg.span("frame") as frame_span:
-                result = unroll.solver.solve(
-                    [lit], conflict_budget=conflict_budget,
-                    budget=budget)
+                if cubes:
+                    attempt = _cube.cube_solve(
+                        unroll.solver, [lit],
+                        payload={"mode": "bmc", "net": net,
+                                 "frame": t, "target": target,
+                                 "use_template": use_template,
+                                 "certify": do_cert},
+                        conflict_budget=conflict_budget,
+                        budget=budget, name="bmc.cube")
+                    result = attempt.result
+                else:
+                    result = unroll.solver.solve(
+                        [lit], conflict_budget=conflict_budget,
+                        budget=budget)
+            split = attempt is not None and attempt.used_cubes
             reg.event("bmc.frame", t=t, result=result,
-                      seconds=frame_span.seconds)
+                      seconds=frame_span.seconds, cubes=split)
             obs.progress(
                 "bmc", frame=t, of=depth, result=result,
                 seconds=round(frame_span.seconds, 6),
                 budget_s=_budget_remaining(budget))
             if result == SAT:
-                model = unroll.solver.model
-                cex = Counterexample(
-                    depth=t,
-                    inputs=[unroll.input_values(model, i)
-                            for i in range(t + 1)],
-                    initial_state=unroll.state_values(model, 0),
-                )
-                if do_cert:
-                    certify_witness(net, target, cex, model=model,
-                                    unroll=unroll, engine="bmc")
-                    if refuted:
-                        certify_unsat(unroll.solver, "bmc")
+                if split:
+                    # The winning cube built and (when certifying)
+                    # literal-checked the trace in its worker; replay
+                    # it once more against the netlist semantics here.
+                    cex = attempt.cex
+                    if do_cert:
+                        certify_witness(net, target, cex, engine="bmc")
+                else:
+                    model = unroll.solver.model
+                    cex = Counterexample(
+                        depth=t,
+                        inputs=[unroll.input_values(model, i)
+                                for i in range(t + 1)],
+                        initial_state=unroll.state_values(model, 0),
+                    )
+                    if do_cert:
+                        certify_witness(net, target, cex, model=model,
+                                        unroll=unroll, engine="bmc")
+                if do_cert and refuted_local:
+                    certify_unsat(unroll.solver, "bmc")
                 return BMCResult(FALSIFIED, target, t + 1, cex)
             if result == UNKNOWN:
                 return BMCResult(
                     ABORTED, target, t,
-                    exhaustion_reason=unroll.solver.last_exhaustion)
+                    exhaustion_reason=attempt.exhaustion if split
+                    else unroll.solver.last_exhaustion)
             refuted += 1
-    if do_cert and refuted:
+            if not split:
+                refuted_local += 1
+    if do_cert and refuted_local:
         certify_unsat(unroll.solver, "bmc")
     if complete_bound is not None and depth >= complete_bound:
         return BMCResult(PROVEN, target, depth)
@@ -199,6 +235,7 @@ def bmc_multi(
     budget: Optional[Budget] = None,
     use_template: Optional[bool] = None,
     certify: Optional[bool] = None,
+    use_cubes: Optional[bool] = None,
 ) -> Dict[int, BMCResult]:
     """Check many targets over one shared unrolling.
 
@@ -214,16 +251,20 @@ def bmc_multi(
     replayed at discovery time; the shared solver's proof log —
     which covers every refuted (target, frame) query — is checked
     once after the sweep, so one check certifies every UNSAT-backed
-    verdict in the returned map.
+    verdict in the returned map.  ``use_cubes`` follows the
+    :func:`bmc` contract too; a cube-refuted (target, frame) query is
+    certified in its workers, not by the shared solver's log, so the
+    final check is skipped when *every* refutation came from cubes.
     """
     if targets is None:
         targets = list(dict.fromkeys(net.targets))
     complete_bounds = complete_bounds or {}
     do_cert = certification_enabled() if certify is None else certify
+    cubes = _cube.cubes_enabled() if use_cubes is None else use_cubes
     with use_proofs(True) if do_cert else _nullcontext():
         unroll = Unrolling(net, constrain_init=True,
                            use_template=use_template)
-    refuted = 0
+    refuted_local = 0
     results: Dict[int, BMCResult] = {}
     open_targets = list(dict.fromkeys(targets))
     reg = obs.get_registry()
@@ -244,34 +285,56 @@ def bmc_multi(
                                             exhaustion_reason=reason)
                 continue
             lit = unroll.literal(target, t)
+            attempt = None
             with reg.span("bmc.multi/frame"):
-                outcome = unroll.solver.solve(
-                    [lit], conflict_budget=conflict_budget,
-                    budget=budget)
+                if cubes:
+                    attempt = _cube.cube_solve(
+                        unroll.solver, [lit],
+                        payload={"mode": "bmc", "net": net,
+                                 "frame": t, "target": target,
+                                 "use_template": use_template,
+                                 "certify": do_cert},
+                        conflict_budget=conflict_budget,
+                        budget=budget, name="bmc.multi.cube")
+                    outcome = attempt.result
+                else:
+                    outcome = unroll.solver.solve(
+                        [lit], conflict_budget=conflict_budget,
+                        budget=budget)
+            split = attempt is not None and attempt.used_cubes
             if outcome == SAT:
-                model = unroll.solver.model
-                cex = Counterexample(
-                    depth=t,
-                    inputs=[unroll.input_values(model, i)
-                            for i in range(t + 1)],
-                    initial_state=unroll.state_values(model, 0),
-                )
-                if do_cert:
-                    certify_witness(net, target, cex, model=model,
-                                    unroll=unroll, engine="bmc.multi")
+                if split:
+                    cex = attempt.cex
+                    if do_cert:
+                        certify_witness(net, target, cex,
+                                        engine="bmc.multi")
+                else:
+                    model = unroll.solver.model
+                    cex = Counterexample(
+                        depth=t,
+                        inputs=[unroll.input_values(model, i)
+                                for i in range(t + 1)],
+                        initial_state=unroll.state_values(model, 0),
+                    )
+                    if do_cert:
+                        certify_witness(net, target, cex, model=model,
+                                        unroll=unroll,
+                                        engine="bmc.multi")
                 results[target] = BMCResult(FALSIFIED, target, t + 1, cex)
             elif outcome == UNKNOWN:
                 results[target] = BMCResult(
                     ABORTED, target, t,
-                    exhaustion_reason=unroll.solver.last_exhaustion)
+                    exhaustion_reason=attempt.exhaustion if split
+                    else unroll.solver.last_exhaustion)
             else:
-                refuted += 1
+                if not split:
+                    refuted_local += 1
                 still_open.append(target)
         obs.progress("bmc.multi", frame=t, of=max_depth,
                      open=len(still_open), resolved=len(results),
                      budget_s=_budget_remaining(budget))
         open_targets = still_open
-    if do_cert and refuted:
+    if do_cert and refuted_local:
         certify_unsat(unroll.solver, "bmc.multi")
     for target in open_targets:
         bound = complete_bounds.get(target)

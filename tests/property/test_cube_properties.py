@@ -1,0 +1,96 @@
+"""Property: a cube set is a partition of the search space.
+
+The soundness of the whole cube-and-conquer path rests on one
+equivalence — the union of the ``2^k`` sign-combination cubes is the
+original query (SAT iff some cube SAT, UNSAT iff all UNSAT).  Checked
+here on random small CNF instances against the plain solver, with the
+real driver (:func:`repro.sat.cube.solve_cubes`) doing the join.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import SAT, UNSAT, Solver
+from repro.sat.cnf import neg, pos
+from repro.sat.cube import generate_cubes, join_cubes, solve_cubes
+
+
+@st.composite
+def cnf_instances(draw, max_vars=6, max_clauses=14):
+    num_vars = draw(st.integers(2, max_vars))
+    clauses = []
+    for _ in range(draw(st.integers(1, max_clauses))):
+        width = draw(st.integers(1, min(3, num_vars)))
+        variables = draw(st.lists(st.integers(0, num_vars - 1),
+                                  min_size=width, max_size=width,
+                                  unique=True))
+        clauses.append([pos(v) if draw(st.booleans()) else neg(v)
+                        for v in variables])
+    return clauses
+
+
+def _solve_plain(clauses):
+    solver = Solver()
+    for clause in clauses:
+        solver.add_clause(list(clause))
+    return solver.solve([])
+
+
+@given(cnf_instances(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_union_of_cubes_is_the_original_query(clauses, cube_vars):
+    expected = _solve_plain(clauses)
+    assert expected in (SAT, UNSAT)  # no budgets: always conclusive
+    scorer = Solver()
+    for clause in clauses:
+        scorer.add_clause(list(clause))
+    cubes = generate_cubes(scorer, count_vars=cube_vars)
+    if not cubes:
+        return  # nothing to split on (fully simplified formula)
+    join = solve_cubes({"mode": "cnf", "clauses": clauses}, cubes,
+                       jobs=1)
+    assert join.result == expected
+
+
+@given(cnf_instances())
+@settings(max_examples=25, deadline=None)
+def test_verdict_is_split_size_invariant(clauses):
+    # k=1 and k=2 splits of the same query agree with each other (and,
+    # transitively via the test above, with the plain solve).
+    results = []
+    for k in (1, 2):
+        scorer = Solver()
+        for clause in clauses:
+            scorer.add_clause(list(clause))
+        cubes = generate_cubes(scorer, count_vars=k)
+        if not cubes:
+            return
+        results.append(
+            solve_cubes({"mode": "cnf", "clauses": clauses}, cubes,
+                        jobs=1).result)
+    assert results[0] == results[1]
+
+
+@given(cnf_instances(), st.integers(1, 2))
+@settings(max_examples=25, deadline=None)
+def test_join_precedence_never_masks_a_sat_cube(clauses, cube_vars):
+    # Solve every cube *individually* (no first-win race), then check
+    # join_cubes reconstructs the plain verdict from the raw outcomes.
+    from repro.parallel import WorkerOutcome
+    from repro.sat.cube import run_cube_task
+
+    expected = _solve_plain(clauses)
+    scorer = Solver()
+    for clause in clauses:
+        scorer.add_clause(list(clause))
+    cubes = generate_cubes(scorer, count_vars=cube_vars)
+    if not cubes:
+        return
+    outcomes = []
+    for i, cube in enumerate(cubes):
+        value = run_cube_task(
+            {"mode": "cnf", "clauses": clauses, "cube": list(cube),
+             "cube_index": i, "cube_of": len(cubes)}, None)
+        outcomes.append(WorkerOutcome(index=i, label=f"c{i}",
+                                      value=value))
+    assert join_cubes(outcomes).result == expected

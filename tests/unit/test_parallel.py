@@ -11,10 +11,13 @@ from repro.core.portfolio import StrategyOutcome
 from repro.netlist import NetlistError, s27
 from repro.parallel import BudgetSpec, ParallelExecutor, WorkerOutcome
 from repro.resilience import (
+    FAULT_CRASH,
     Budget,
     Cancelled,
     EngineFailure,
+    FaultPlan,
     ResourceExhausted,
+    inject,
 )
 from repro.unroll import bmc
 
@@ -69,6 +72,31 @@ def _cert_instrumented(payload, budget):
     reg.counter("cert.checked", 2)
     reg.counter("cert.lemmas_checked", 5)
     return payload
+
+
+def _quick_win(payload, budget):
+    return "win"
+
+
+def _poll_until_cancelled(payload, budget):
+    # A cooperative loser: spins until the pool-wide first-win cancel
+    # event (threaded through the shared budget) tells it to stop —
+    # the same per-conflict check the solver performs.
+    deadline = time.monotonic() + payload
+    while time.monotonic() < deadline:
+        if budget is not None and budget.cancelled:
+            raise Cancelled(budget_name=budget.name)
+        time.sleep(0.01)
+    return "survived"
+
+
+def _solver_probe(payload, budget):
+    from repro.sat import Solver
+    from repro.sat.cnf import pos
+
+    solver = Solver()
+    solver.add_clause([pos(0)])
+    return solver.solve([])
 
 
 class TestBudgetSpec:
@@ -328,6 +356,122 @@ class TestDataPickles:
         assert clone.strategy == "COM"
         assert clone.error == "boom"
         assert clone.seconds == 1.5
+
+
+class TestWorkStealingInProcess:
+    """The jobs=1 drain of the work-stealing engine: same queue
+    semantics (shared budget pool, first-win early exit), no
+    processes."""
+
+    def test_results_in_submission_order(self):
+        outcomes = ParallelExecutor(jobs=1, stealing=True).map(
+            _double, [1, 2, 3])
+        assert [o.value for o in outcomes] == [2, 4, 6]
+        assert [o.index for o in outcomes] == [0, 1, 2]
+
+    def test_budget_shared_not_pre_split(self):
+        budget = Budget(conflicts=100, queries=10, name="parent")
+        outcomes = ParallelExecutor(jobs=1, name="pool",
+                                    stealing=True).map(
+            _record_budget, ["a", "b"], budget=budget,
+            labels=["a", "b"])
+        # The pre-split engine would show 50/5 slices; the stealing
+        # engine shares one pool, so every task sees the full remains.
+        assert outcomes[0].value["conflicts"] == 100
+        assert outcomes[1].value["queries"] == 10
+        assert outcomes[0].value["name"] == "pool[a]"
+
+    def test_first_win_short_circuits_the_rest(self):
+        executor = ParallelExecutor(jobs=1, name="race")
+        outcomes = executor.map(_double, [1, 2, 3],
+                                first_win=lambda v: v == 2)
+        assert outcomes[0].value == 2
+        assert isinstance(outcomes[1].error, Cancelled)
+        assert isinstance(outcomes[2].error, Cancelled)
+        assert executor.last_race["first_win_index"] == 0
+        assert executor.last_race["cancel_latency"] >= 0.0
+
+    def test_losers_cancellation_does_not_reraise(self):
+        # Under a first_win race the join rule owns error precedence;
+        # a loser's Cancelled must come back as an outcome, not
+        # propagate (the regression the first PR 9 satellite pins).
+        outcomes = ParallelExecutor(jobs=1).map(
+            _double, [1, 2], first_win=lambda v: v == 2)
+        assert not outcomes[1].ok  # and no exception reached us
+
+    def test_cancelled_budget_still_raises_at_submit(self):
+        budget = Budget(name="parent")
+        budget.cancel()
+        with pytest.raises(Cancelled):
+            ParallelExecutor(jobs=1, stealing=True).map(
+                _double, [1], budget=budget)
+
+
+@pytest.mark.parallel
+class TestWorkStealingPooled:
+    def test_pooled_stealing_submission_order(self):
+        outcomes = ParallelExecutor(jobs=2, stealing=True).map(
+            _double, [1, 2, 3, 4])
+        assert [o.value for o in outcomes] == [2, 4, 6, 8]
+        assert [o.index for o in outcomes] == [0, 1, 2, 3]
+
+    def test_pooled_budget_shared_not_pre_split(self):
+        budget = Budget(conflicts=100, queries=10, name="parent")
+        outcomes = ParallelExecutor(jobs=2, name="pool",
+                                    stealing=True).map(
+            _record_budget, ["a", "b"], budget=budget,
+            labels=["a", "b"])
+        for outcome in outcomes:
+            assert outcome.value["conflicts"] == 100
+            assert outcome.value["queries"] == 10
+        assert outcomes[1].value["name"] == "pool[b]"
+
+    def test_pooled_first_win_cancels_cooperative_loser(self):
+        executor = ParallelExecutor(jobs=2, name="race")
+        start = time.monotonic()
+        outcomes = executor.map_tasks(
+            [(_quick_win, None), (_poll_until_cancelled, 20.0)],
+            first_win=lambda v: v == "win",
+            labels=["winner", "loser"])
+        elapsed = time.monotonic() - start
+        assert elapsed < 15.0  # the 20 s loser was not waited out
+        assert outcomes[0].value == "win"
+        assert isinstance(outcomes[1].error, Cancelled)
+        assert executor.last_race["first_win_index"] == 0
+        assert executor.last_race["cancel_latency"] < 15.0
+
+    def test_pooled_typed_error_round_trips(self):
+        outcomes = ParallelExecutor(jobs=2, stealing=True).map(
+            _typed_error, [None, None])
+        for outcome in outcomes:
+            assert isinstance(outcome.error, ResourceExhausted)
+            assert outcome.error.budget_name == "inner"
+
+    def test_fault_plan_rearmed_per_stolen_task(self):
+        # Three tasks over two workers: one worker necessarily steals
+        # two.  If the fault schedule were per *process*, the second
+        # stolen task would observe call index 1 and dodge the at={0}
+        # fault; re-arming per task (the second PR 9 satellite) makes
+        # every task's first solver call crash, independent of which
+        # worker stole it.
+        with inject(FaultPlan(at={0: FAULT_CRASH})):
+            outcomes = ParallelExecutor(jobs=2, stealing=True).map(
+                _solver_probe, [None, None, None])
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert isinstance(outcome.error, EngineFailure)
+            assert "injected crash" in str(outcome.error)
+
+    def test_obs_prefix_is_task_label_not_worker(self):
+        # Telemetry lands under parallel/<pool>/<label> regardless of
+        # which worker ran the task.
+        with obs.scoped(obs.Registry("parent")) as reg:
+            ParallelExecutor(jobs=2, name="pool", stealing=True).map(
+                _instrumented, ["a", "b", "c"], labels=["a", "b", "c"])
+            snap = reg.snapshot()
+        for label in ("a", "b", "c"):
+            assert snap["counters"][
+                f"parallel/pool/{label}/sat.conflicts"] == 7
 
 
 class TestMergeSnapshot:
