@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from .. import obs
+from ..obs import metrics as _metrics
 from ..netlist import GateType, Netlist
 from ..resilience import Budget, Cancelled
 from ..sat import CnfSink, encode_frame, encode_mux, encode_xor2, \
@@ -188,10 +189,12 @@ def qbf_initial_diameter(net: Netlist, max_k: int = 32,
                     return QBFDiameterResult(bound=k + 1, exact=False,
                                              checks=checks,
                                              exhaustion_reason=reason)
-            with reg.span("check") as check_span:
+            with _metrics.query_context("qbf", k=k), \
+                    reg.span("check") as check_span:
                 result = qbf_initial_diameter_check(
                     net, k, max_iterations=max_iterations,
                     conflict_budget=conflict_budget, budget=budget)
+            _metrics.observe("qbf.check_seconds", check_span.seconds)
             reg.event("qbf.check", k=k, valid=result.valid,
                       exact=result.exact, seconds=check_span.seconds)
             obs.progress("qbf", k=k, of=max_k, valid=result.valid,

@@ -41,6 +41,9 @@ Record schema (``repro-trace-v1``) — common keys ``ty``, ``t``
 ``C``  counter delta: ``name``, ``delta``, ``value`` (running total)
 ``I``  instant event: ``name``, ``span`` (optional), ``fields``
 ``P``  progress heartbeat: ``source``, ``fields``
+``Q``  per-query ledger record: ``fields`` (engine, frame/k,
+       verdict, conflicts, seconds, ... — see
+       :mod:`repro.obs.metrics`)
 ====  =============================================================
 
 Stdlib-only, like everything under ``repro.obs``.
@@ -215,6 +218,11 @@ class TraceSink:
     def progress(self, source: str, fields: Dict[str, Any]) -> None:
         self._emit({"ty": "P", "source": source,
                     "fields": dict(fields)})
+
+    def query(self, fields: Dict[str, Any]) -> None:
+        """A per-query ledger record (:func:`repro.obs.metrics
+        .record_query`) on the stitched timeline."""
+        self._emit({"ty": "Q", "fields": dict(fields)})
 
     # ------------------------------------------------------------------
     def flush(self) -> None:
@@ -394,6 +402,13 @@ class ProgressReporter:
     emitting a frame every few milliseconds costs a handful of prints
     per second, while a sweep that reports once a minute is never
     suppressed.  ``interval=0`` prints everything (tests).
+
+    Concurrency-safe: the throttle check-and-update runs under a
+    lock, and each line reaches the stream as a **single**
+    ``write()`` call (newline included) rather than ``print()``'s
+    two — under ``--jobs > 1`` several threads' heartbeats land on
+    the shared stderr pipe as whole lines instead of shearing
+    mid-line into ``[bmc] fra[sweep] round=3\\nme=17``.
     """
 
     def __init__(self, stream: Optional[IO[str]] = None,
@@ -401,16 +416,22 @@ class ProgressReporter:
         self.stream = stream if stream is not None else sys.stderr
         self.interval = interval
         self._last: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def __call__(self, source: str, fields: Dict[str, Any]) -> None:
         now = time.perf_counter()
-        last = self._last.get(source)
-        if last is not None and now - last < self.interval:
-            return
-        self._last[source] = now
+        with self._lock:
+            last = self._last.get(source)
+            if last is not None and now - last < self.interval:
+                return
+            self._last[source] = now
         text = " ".join(f"{key}={value}"
                         for key, value in fields.items())
-        print(f"[{source}] {text}", file=self.stream, flush=True)
+        try:
+            self.stream.write(f"[{source}] {text}\n")
+            self.stream.flush()
+        except ValueError:  # pragma: no cover - stream closed at exit
+            pass
 
 
 def progress_from_env() -> Optional[ProgressReporter]:
@@ -555,5 +576,13 @@ def to_chrome(records: List[Dict[str, Any]]) -> Dict[str, Any]:
                 "name": f"progress:{record.get('source', '?')}",
                 "cat": "progress", "pid": pid, "tid": tid, "ts": ts,
                 "args": dict(record.get("fields", {})),
+            })
+        elif ty == "Q":
+            fields = dict(record.get("fields", {}))
+            events.append({
+                "ph": "i", "s": "t",
+                "name": f"query:{fields.get('engine', '?')}",
+                "cat": "query", "pid": pid, "tid": tid, "ts": ts,
+                "args": fields,
             })
     return {"traceEvents": events, "displayTimeUnit": "ms"}

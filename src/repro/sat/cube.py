@@ -52,6 +52,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..obs import metrics as _metrics
 from ..resilience import Budget, Cancelled, CertificationFailure, \
     EngineFailure, ResourceExhausted
 from ..resilience.errors import EXHAUSTED_CONFLICTS
@@ -544,7 +545,12 @@ def cube_solve(solver: Solver,
     if share:
         work["share_max_len"] = cfg.share_max_len
         work["share_max_clauses"] = cfg.share_max_clauses
+    race = obs.stopwatch()
     join = solve_cubes(work, cubes, budget=budget, name=name)
+    _metrics.record_query(
+        engine=name, cube=True, verdict=join.result,
+        cubes=len(cubes), winner=join.winner,
+        seconds=race.elapsed, exhausted=join.exhaustion)
     if share and join.result == UNSAT and join.learned and \
             join.num_vars == solver.num_vars:
         # Assumption-based CDCL only learns consequences of the clause

@@ -44,6 +44,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, \
     Tuple
 
 from .. import obs
+from ..obs import metrics as _metrics
 from ..cert.proof import ProofLog
 from ..resilience import Budget, Cancelled, EngineFailure, \
     EXHAUSTED_CONFLICTS, EXHAUSTED_DEADLINE
@@ -537,7 +538,7 @@ class Solver:
         profile_before = dict(self._profile) \
             if self._profile is not None else None
         reg = obs.get_registry()
-        with reg.span("sat.solve"):
+        with reg.span("sat.solve") as solve_span:
             result = self._solve_governed(assumptions, conflict_budget,
                                           budget)
         # Delta over whatever keys exist *now*: a counter that first
@@ -559,6 +560,25 @@ class Solver:
                           - profile_before[phase]) * 1e9)
                 if ns:
                     reg.counter(f"sat.{phase}_ns", ns)
+        if _metrics._enabled:
+            # One module-attribute load when disabled (the line
+            # above); everything below runs only under REPRO_METRICS.
+            _metrics.observe("sat.solve_seconds", solve_span.seconds)
+            _metrics.gauge_set("sat.vars", self.num_vars)
+            _metrics.mark("sat.solves")
+            conflicts = delta.get("conflicts", 0)
+            if conflicts:
+                _metrics.mark("sat.conflicts", conflicts)
+            _metrics.record_query(
+                engine=_metrics.current_context().get("engine", "sat"),
+                verdict=result,
+                conflicts=conflicts,
+                propagations=delta.get("propagations", 0),
+                decisions=delta.get("decisions", 0),
+                seconds=solve_span.seconds,
+                budget_charged=conflicts if budget is not None else 0,
+                exhausted=self.last_exhaustion,
+            )
         return result
 
     def _solve_governed(

@@ -50,6 +50,7 @@ from ..experiments.runner import PIPELINES, evaluate_design
 from ..gen import iscas89
 from ..netlist import s27
 from ..resilience import Budget, FaultPlan, inject
+from ..obs import metrics as _metrics
 from ..sat.solver import PROFILE_PHASES, use_sat_profile, use_simplify
 from ..sat.template import clear_template_cache, use_templates
 from ..unroll import Unrolling, bmc, k_induction
@@ -548,6 +549,35 @@ def run_workload(reg: obs.Registry,
     return sections
 
 
+def _metrics_section(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The artifact's ``metrics`` section from a registry snapshot.
+
+    Solve-latency quantiles (p50/p90/p99 over every ``Solver.solve``
+    in the workload, workers merged in bucket-wise), the top-5
+    slowest ledger queries, and the raw histograms so ``repro-report``
+    can draw the distributions without re-running anything.
+    """
+    data = snapshot.get("metrics", {})
+    histograms = data.get("histograms", {})
+    section: Dict[str, Any] = {"histograms": histograms}
+    solve = histograms.get("sat.solve_seconds")
+    if solve:
+        hist = _metrics.Histogram.from_snapshot(solve)
+        section["solve_latency"] = dict(
+            count=hist.count, mean=hist.mean, **hist.quantiles())
+    ledger = data.get("ledger", {})
+    led = _metrics.Ledger.from_snapshot(ledger) if ledger \
+        else _metrics.Ledger()
+    section["ledger_top"] = [
+        {key: rec.get(key) for key in
+         ("engine", "frame", "k", "verdict", "conflicts", "seconds",
+          "source")
+         if rec.get(key) is not None}
+        for rec in led.top(5)]
+    section["ledger_dropped"] = led.dropped
+    return section
+
+
 def run_bench(rev: str, timeout: float = 0,
               jobs: int = 1, profile: str = "full") -> Dict[str, Any]:
     """Run the workload in a scoped registry; returns the artifact."""
@@ -556,10 +586,12 @@ def run_bench(rev: str, timeout: float = 0,
     with obs.scoped(obs.Registry(f"bench-{rev}")) as reg:
         # Search-phase profiling feeds the time_split breakdown; the
         # toggle applies to every solver the workload constructs.
-        with use_sat_profile(True):
+        # Distribution metrics feed the artifact's latency quantiles
+        # and ledger top-5 (workers inherit both via the environment).
+        with use_sat_profile(True), _metrics.use_metrics(True):
             sections = run_workload(reg, budget=budget, jobs=jobs,
                                     profile=profile)
-        snapshot = reg.snapshot()
+            snapshot = reg.snapshot()
     solver_keys = ("sat.conflicts", "sat.decisions", "sat.propagations",
                    "sat.restarts", "sat.solve_calls")
     resilience_prefixes = ("resilience.", "faults.", "bmc.budget",
@@ -580,6 +612,7 @@ def run_bench(rev: str, timeout: float = 0,
                      "scale": cfg["scale"],
                      "profile": profile},
         "sections": sections,
+        "metrics": _metrics_section(snapshot),
         "time_split": _time_split(snapshot),
         "solver": {key: snapshot["counters"].get(key, 0)
                    for key in solver_keys},
@@ -671,6 +704,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                      f"{cube['speedup']:.2f}x ({jobs_curve})"
                      + (f", cancel latency {latency * 1000:.0f} ms"
                         if latency is not None else ""))
+    latency = artifact.get("metrics", {}).get("solve_latency")
+    if latency:
+        lines.append(
+            f"  solve latency: p50 {latency['p50'] * 1e3:.3f} ms / "
+            f"p90 {latency['p90'] * 1e3:.3f} ms / "
+            f"p99 {latency['p99'] * 1e3:.3f} ms "
+            f"over {latency['count']} solves")
     split = artifact["time_split"]
     lines.append(f"  time split: encode {split['encode_seconds']:.3f} s"
                  f" / solve {split['solve_seconds']:.3f} s")

@@ -5,6 +5,9 @@ Usage::
     python -m repro.tools.trace summary  <trace[.pid]> [--top 15]
     python -m repro.tools.trace export   <trace> --format chrome
                                          [--out timeline.json]
+    python -m repro.tools.trace flame    <trace> [--out stacks.txt]
+    python -m repro.tools.trace diff     <trace_a> <trace_b> [--top 20]
+    python -m repro.tools.trace trajectory [--dir benchmarks]
     python -m repro.tools.trace regress  <baseline.json> <candidate.json>
                                          [--threshold 1.3]
                                          [--min-seconds 0.05]
@@ -16,6 +19,15 @@ path they automatically pick up the per-worker siblings
 ``<path>.<pid>`` and stitch everything into one wall-clock-aligned
 timeline.  ``export --format chrome`` writes Chrome trace-event JSON
 loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+``flame`` folds a stitched trace's span records into collapsed-stack
+lines (``outer;inner self_microseconds``) — the input format of every
+flamegraph renderer (Brendan Gregg's ``flamegraph.pl``, speedscope,
+the inline SVG in ``repro-report``).  ``diff`` compares two traces by
+span self-time and counter totals, largest absolute change first —
+"where did the time move" between two runs.  ``trajectory`` renders
+the encode/solve seconds and verdict trend across every committed
+``benchmarks/BENCH_*.json`` as one markdown table.
 
 ``regress`` compares two committed bench artifacts
 (``benchmarks/BENCH_<rev>.json``) metric by metric — per-section
@@ -31,7 +43,9 @@ regressed beyond the threshold, making the perf trajectory CI-gateable:
 from __future__ import annotations
 
 import argparse
+import glob as _glob
 import json
+import os
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import trace as _trace
@@ -155,6 +169,168 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
+# flame
+# ----------------------------------------------------------------------
+def collapsed_stacks(records: List[Dict[str, Any]]) -> List[str]:
+    """Collapsed-stack lines (``a;b;c <self_us>``) from span records.
+
+    Self time per hierarchical path (total minus direct children,
+    clamped at zero — cross-process aggregation can push a parent's
+    residual slightly negative), in integer microseconds as the
+    "sample count" every flamegraph renderer expects.  Lines are
+    sorted by path so the output is deterministic.
+    """
+    totals, _ = _span_totals(records)
+    self_times = _self_times(totals)
+    lines = []
+    for path in sorted(self_times):
+        us = int(max(0.0, self_times[path]) * 1e6)
+        if us:
+            lines.append(f"{path.replace('/', ';')} {us}")
+    return lines
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    paths = _trace.discover_trace_files(args.trace)
+    if not paths:
+        print(f"no trace files at {args.trace}")
+        return 2
+    records = _trace.stitch_files(paths)
+    lines = collapsed_stacks(records)
+    if not lines:
+        print("no span records in trace")
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"wrote {args.out} ({len(lines)} stacks from "
+              f"{len(paths)} file(s))")
+    else:
+        try:
+            print("\n".join(lines))
+        except BrokenPipeError:  # `flame ... | head` is normal usage
+            return 0
+    return 0
+
+
+# ----------------------------------------------------------------------
+# diff
+# ----------------------------------------------------------------------
+def _cmd_diff(args: argparse.Namespace) -> int:
+    sides = []
+    for base in (args.trace_a, args.trace_b):
+        paths = _trace.discover_trace_files(base)
+        if not paths:
+            print(f"no trace files at {base}")
+            return 2
+        records = _trace.stitch_files(paths)
+        totals, counts = _span_totals(records)
+        sides.append((_self_times(totals), counts,
+                      _counter_totals(records)))
+    (self_a, counts_a, counters_a) = sides[0]
+    (self_b, counts_b, counters_b) = sides[1]
+
+    span_rows = []
+    for path in sorted(set(self_a) | set(self_b)):
+        a, b = self_a.get(path, 0.0), self_b.get(path, 0.0)
+        if abs(b - a) > 1e-9:
+            span_rows.append((abs(b - a), path, a, b))
+    span_rows.sort(key=lambda row: (-row[0], row[1]))
+    print(f"span self-time deltas ({args.trace_a} -> {args.trace_b}):")
+    for _, path, a, b in span_rows[:args.top]:
+        sign = "+" if b >= a else "-"
+        print(f"  {a:9.3f} s -> {b:9.3f} s  ({sign}{abs(b - a):.3f} s)"
+              f"  x{counts_a.get(path, 0)}->x{counts_b.get(path, 0)}"
+              f"  {path}")
+    if not span_rows:
+        print("  (no span differences)")
+
+    counter_rows = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        a, b = counters_a.get(name, 0), counters_b.get(name, 0)
+        if a != b:
+            counter_rows.append((abs(b - a), name, a, b))
+    counter_rows.sort(key=lambda row: (-row[0], row[1]))
+    print("\ncounter deltas:")
+    for _, name, a, b in counter_rows[:args.top]:
+        sign = "+" if b >= a else ""
+        print(f"  {a:>12} -> {b:>12}  ({sign}{b - a})  {name}")
+    if not counter_rows:
+        print("  (no counter differences)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# trajectory
+# ----------------------------------------------------------------------
+def _artifact_order(path: str) -> Tuple[int, int, str]:
+    """Sort key: seed first, then prN by number, then the rest."""
+    stem = os.path.basename(path)
+    rev = stem[len("BENCH_"):-len(".json")]
+    if rev == "seed":
+        return (0, 0, rev)
+    if rev.startswith("pr") and rev[2:].isdigit():
+        return (1, int(rev[2:]), rev)
+    return (2, 0, rev)
+
+
+def trajectory_table(paths: List[str]) -> str:
+    """The bench trend across ``paths`` as a markdown table."""
+    lines = [
+        "| rev | encode (s) | solve (s) | bmc | prove | "
+        "solve p50 (ms) | p99 (ms) |",
+        "|---|---:|---:|---|---|---:|---:|",
+    ]
+    for path in paths:
+        with open(path) as handle:
+            artifact = json.load(handle)
+        rev = artifact.get("rev", os.path.basename(path))
+        split = artifact.get("time_split", {})
+        encode = split.get("encode_seconds")
+        solve = split.get("solve_seconds")
+        sections = artifact.get("sections", {})
+        bmc = sections.get("bmc", {})
+        bmc_cell = bmc.get("status", "-")
+        if "depth_checked" in bmc:
+            bmc_cell += f"@{bmc['depth_checked']}"
+        prove = sections.get("prove", {})
+        prove_cell = prove.get("status", "-")
+        if prove.get("method"):
+            prove_cell += f" ({prove['method']})"
+        quant = artifact.get("metrics", {}).get("solve_latency", {})
+
+        def sec(value: Any) -> str:
+            return f"{value:.3f}" if isinstance(value, (int, float)) \
+                else "-"
+
+        def ms(value: Any) -> str:
+            return f"{value * 1e3:.3f}" \
+                if isinstance(value, (int, float)) else "-"
+
+        lines.append(f"| {rev} | {sec(encode)} | {sec(solve)} "
+                     f"| {bmc_cell} | {prove_cell} "
+                     f"| {ms(quant.get('p50'))} "
+                     f"| {ms(quant.get('p99'))} |")
+    return "\n".join(lines)
+
+
+def _cmd_trajectory(args: argparse.Namespace) -> int:
+    pattern = os.path.join(args.dir, "BENCH_*.json")
+    paths = sorted(_glob.glob(pattern), key=_artifact_order)
+    if not paths:
+        print(f"no artifacts matching {pattern}")
+        return 2
+    table = trajectory_table(paths)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(table + "\n")
+        print(f"wrote {args.out} ({len(paths)} artifacts)")
+    else:
+        print(table)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # regress
 # ----------------------------------------------------------------------
 def _seconds_metrics(artifact: Dict[str, Any]) -> Dict[str, float]:
@@ -181,6 +357,14 @@ def _seconds_metrics(artifact: Dict[str, Any]) -> Dict[str, float]:
         value = simp.get(key)
         if isinstance(value, (int, float)):
             metrics[f"sections.simplify.{key}"] = float(value)
+    # Solve-latency quantiles (artifacts since the metrics layer);
+    # per-solve latencies sit well under the min_seconds noise floor
+    # on the smoke workload, so only real tail blowups can trip them.
+    quant = artifact.get("metrics", {}).get("solve_latency", {})
+    for key in ("p50", "p90", "p99"):
+        value = quant.get(key)
+        if isinstance(value, (int, float)):
+            metrics[f"metrics.solve_latency.{key}"] = float(value)
     return metrics
 
 
@@ -310,6 +494,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           default="chrome")
     p_export.add_argument("--out", default=None)
     p_export.set_defaults(fn=_cmd_export)
+
+    p_flame = sub.add_parser(
+        "flame", help="collapsed-stack flamegraph input from a trace")
+    p_flame.add_argument("trace", help="trace file (workers at "
+                                       "<trace>.<pid> auto-included)")
+    p_flame.add_argument("--out", default=None,
+                         help="write stacks here instead of stdout")
+    p_flame.set_defaults(fn=_cmd_flame)
+
+    p_diff = sub.add_parser(
+        "diff", help="span self-time and counter deltas of two traces")
+    p_diff.add_argument("trace_a")
+    p_diff.add_argument("trace_b")
+    p_diff.add_argument("--top", type=int, default=20)
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_traj = sub.add_parser(
+        "trajectory",
+        help="markdown bench trend across committed BENCH_*.json")
+    p_traj.add_argument("--dir", default="benchmarks")
+    p_traj.add_argument("--out", default=None)
+    p_traj.set_defaults(fn=_cmd_trajectory)
 
     p_regress = sub.add_parser(
         "regress", help="compare two BENCH_*.json artifacts")

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from .. import obs
+from ..obs import metrics as _metrics
 from ..cert import certification_enabled, certify_unsat, certify_witness
 from ..netlist import Netlist
 from ..resilience import Budget, Cancelled
@@ -158,16 +159,30 @@ def bmc(
     if complete_bound is not None:
         depth = min(max_depth, complete_bound)
     reg = obs.get_registry()
+    watch = obs.stopwatch()
+
+    def _finish(res: BMCResult) -> BMCResult:
+        # Engine-call-boundary ledger record (no-op when disabled).
+        _metrics.record_query(
+            engine="bmc", boundary=True, verdict=res.status,
+            frame=res.depth_checked, seconds=watch.elapsed,
+            exhausted=res.exhaustion_reason,
+            cert=do_cert or None, cube=cubes or None)
+        return res
+
     with reg.span("bmc"):
         for t in range(depth):
             reason = _budget_abort(budget)
             if reason is not None:
                 reg.counter("bmc.budget_aborts")
-                return BMCResult(ABORTED, target, t,
-                                 exhaustion_reason=reason)
+                return _finish(BMCResult(ABORTED, target, t,
+                                         exhaustion_reason=reason))
             lit = unroll.literal(target, t)
             attempt = None
-            with reg.span("frame") as frame_span:
+            with _metrics.query_context("bmc", frame=t, target=target,
+                                        cube=cubes or None,
+                                        cert=do_cert or None), \
+                    reg.span("frame") as frame_span:
                 if cubes:
                     attempt = _cube.cube_solve(
                         unroll.solver, [lit],
@@ -182,6 +197,7 @@ def bmc(
                     result = unroll.solver.solve(
                         [lit], conflict_budget=conflict_budget,
                         budget=budget)
+            _metrics.observe("bmc.frame_seconds", frame_span.seconds)
             split = attempt is not None and attempt.used_cubes
             reg.event("bmc.frame", t=t, result=result,
                       seconds=frame_span.seconds, cubes=split)
@@ -210,20 +226,20 @@ def bmc(
                                         unroll=unroll, engine="bmc")
                 if do_cert and refuted_local:
                     certify_unsat(unroll.solver, "bmc")
-                return BMCResult(FALSIFIED, target, t + 1, cex)
+                return _finish(BMCResult(FALSIFIED, target, t + 1, cex))
             if result == UNKNOWN:
-                return BMCResult(
+                return _finish(BMCResult(
                     ABORTED, target, t,
                     exhaustion_reason=attempt.exhaustion if split
-                    else unroll.solver.last_exhaustion)
+                    else unroll.solver.last_exhaustion))
             refuted += 1
             if not split:
                 refuted_local += 1
     if do_cert and refuted_local:
         certify_unsat(unroll.solver, "bmc")
     if complete_bound is not None and depth >= complete_bound:
-        return BMCResult(PROVEN, target, depth)
-    return BMCResult(BOUNDED, target, depth)
+        return _finish(BMCResult(PROVEN, target, depth))
+    return _finish(BMCResult(BOUNDED, target, depth))
 
 
 def bmc_multi(
@@ -261,6 +277,7 @@ def bmc_multi(
     complete_bounds = complete_bounds or {}
     do_cert = certification_enabled() if certify is None else certify
     cubes = _cube.cubes_enabled() if use_cubes is None else use_cubes
+    watch = obs.stopwatch()
     with use_proofs(True) if do_cert else _nullcontext():
         unroll = Unrolling(net, constrain_init=True,
                            use_template=use_template)
@@ -286,7 +303,11 @@ def bmc_multi(
                 continue
             lit = unroll.literal(target, t)
             attempt = None
-            with reg.span("bmc.multi/frame"):
+            with _metrics.query_context("bmc.multi", frame=t,
+                                        target=target,
+                                        cube=cubes or None,
+                                        cert=do_cert or None), \
+                    reg.span("bmc.multi/frame"):
                 if cubes:
                     attempt = _cube.cube_solve(
                         unroll.solver, [lit],
@@ -342,6 +363,13 @@ def bmc_multi(
             results[target] = BMCResult(PROVEN, target, max_depth)
         else:
             results[target] = BMCResult(BOUNDED, target, max_depth)
+    _metrics.record_query(
+        engine="bmc.multi", boundary=True, seconds=watch.elapsed,
+        targets=len(results),
+        falsified=sum(1 for r in results.values()
+                      if r.status == FALSIFIED),
+        proven=sum(1 for r in results.values() if r.status == PROVEN),
+        cert=do_cert or None, cube=cubes or None)
     return results
 
 

@@ -15,6 +15,7 @@ from contextlib import nullcontext as _nullcontext
 from typing import Dict, Optional
 
 from .. import obs
+from ..obs import metrics as _metrics
 from ..cert import certification_enabled, certify_unsat
 from ..netlist import Netlist
 from ..resilience import Budget
@@ -122,7 +123,10 @@ def k_induction(
                        for i in range(k)]
         assumptions.append(step.literal(target, k))
         attempt = None
-        with reg.span("induction/step") as step_span:
+        with _metrics.query_context("induction", k=k, target=target,
+                                    cube=cubes or None,
+                                    cert=do_cert or None), \
+                reg.span("induction/step") as step_span:
             if cubes:
                 attempt = _cube.cube_solve(
                     solver, assumptions,
@@ -138,6 +142,7 @@ def k_induction(
                                       conflict_budget=conflict_budget,
                                       budget=budget)
         split = attempt is not None and attempt.used_cubes
+        _metrics.observe("induction.step_seconds", step_span.seconds)
         obs.progress("induction", k=k, of=max_k, result=result,
                      seconds=round(step_span.seconds, 6),
                      budget_s=_budget_remaining(budget))
@@ -145,6 +150,9 @@ def k_induction(
             reg.counter("induction.step_vars", solver.num_vars)
             if do_cert and not split:
                 certify_unsat(solver, "k-induction")
+            _metrics.record_query(
+                engine="induction", boundary=True, verdict=PROVEN,
+                k=k, cert=do_cert or None, cube=cubes or None)
             return BMCResult(PROVEN, target, k)
         if result == UNKNOWN:
             return BMCResult(

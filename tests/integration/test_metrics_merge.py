@@ -1,0 +1,128 @@
+"""Integration: worker-merged metrics across the process pool.
+
+The fixed-bucket design promises that a distribution recorded shard-
+wise in pool workers and merged home is *identical* to the same
+workload recorded in one process.  These tests drive the real
+``ParallelExecutor`` merge path (worker scoped registry -> snapshot ->
+``merge_snapshot``) at jobs=1 and jobs=4 over a deterministic
+workload and require bit-equal quantiles.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import metrics as M
+from repro.parallel import ParallelExecutor
+
+#: Deterministic per-shard latencies (seconds): 4 shards, ~9 decades.
+SHARDS = [
+    [1e-5 * (1.7 ** i) for i in range(12)],
+    [3e-4 * (1.3 ** i) for i in range(12)],
+    [0.0, 2e-3, 5e-2, 5e-2, 0.11],
+    [7e-6, 7e-6, 0.9, 1.4, 8.0],
+]
+
+
+def _observe_shard(values, budget):
+    """Pool worker: record one shard of the deterministic workload."""
+    for value in values:
+        M.observe("pool.latency", value)
+    M.record_query(engine="shard", n=len(values),
+                   seconds=sum(values))
+    return len(values)
+
+
+def _run(jobs):
+    """The merged parent-side metrics snapshot for a given job count."""
+    with M.use_metrics(True), obs.scoped(obs.Registry("parent")) as reg:
+        outcomes = ParallelExecutor(jobs=jobs, name="mtest").map(
+            _observe_shard, SHARDS)
+        assert [o.value for o in outcomes] == [len(s) for s in SHARDS]
+        store = M.metrics_store(reg, create=False)
+        assert store is not None
+        return store
+
+
+def _quantiles(store):
+    hist = store.histogram("pool.latency")
+    return (hist.count, hist.min, hist.max, hist.buckets,
+            tuple(hist.quantile(q)
+                  for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0)))
+
+
+def _oracle():
+    hist = M.Histogram()
+    for shard in SHARDS:
+        for value in shard:
+            hist.observe(value)
+    return hist
+
+
+class TestWorkerMergedQuantiles:
+    def test_jobs1_matches_single_recorder(self):
+        count, mn, mx, buckets, qs = _quantiles(_run(jobs=1))
+        oracle = _oracle()
+        assert count == oracle.count
+        assert buckets == oracle.buckets
+        assert qs == tuple(oracle.quantile(q)
+                           for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0))
+
+    @pytest.mark.parallel
+    def test_jobs4_matches_jobs1_exactly(self):
+        assert _quantiles(_run(jobs=4)) == _quantiles(_run(jobs=1))
+
+    @pytest.mark.parallel
+    def test_jobs4_ledger_tagged_with_worker_sources(self):
+        store = _run(jobs=4)
+        records = list(store.ledger.records)
+        assert len(records) == len(SHARDS)
+        sources = {rec.get("source") for rec in records}
+        assert sources == {f"parallel/mtest/{i}"
+                           for i in range(len(SHARDS))}
+        assert all(rec["engine"] == "shard" for rec in records)
+
+
+class TestStackedMergeOverflow:
+    """Satellite: ``obs.events_dropped`` must count ring evictions
+    caused by ``merge_snapshot`` — including two stacked worker merges
+    overflowing the parent ring in turn."""
+
+    def _worker_snapshot(self, name, n_events):
+        reg = obs.Registry(name)
+        for i in range(n_events):
+            reg.event("tick", i=i)
+        return reg.snapshot()
+
+    def test_merge_evictions_counted(self):
+        parent = obs.Registry("parent", max_events=4)
+        parent.merge_snapshot(self._worker_snapshot("w0", 6),
+                              prefix="w0")
+        # 6 events into a 4-ring: 2 evicted during the merge itself.
+        assert parent.events_dropped == 2
+        assert parent.counter_value("obs.events_dropped") == 2
+        assert len(parent.events) == 4
+
+    def test_two_stacked_merges_accumulate(self):
+        parent = obs.Registry("parent", max_events=4)
+        parent.merge_snapshot(self._worker_snapshot("w0", 4),
+                              prefix="w0")
+        assert parent.events_dropped == 0
+        parent.merge_snapshot(self._worker_snapshot("w1", 3),
+                              prefix="w1")
+        # Second merge displaced 3 of w0's events.
+        assert parent.events_dropped == 3
+        sources = [ev["source"] for ev in parent.events]
+        assert sources == ["w0", "w1", "w1", "w1"]
+        # The dropped counter itself survives a further snapshot hop.
+        grand = obs.Registry("grand", max_events=16)
+        grand.merge_snapshot(parent.snapshot(), prefix="p")
+        assert grand.counter_value("p/obs.events_dropped") == 3
+
+    def test_local_and_merge_evictions_share_one_counter(self):
+        parent = obs.Registry("parent", max_events=3)
+        for i in range(5):  # 2 local evictions
+            parent.event("local", i=i)
+        assert parent.events_dropped == 2
+        parent.merge_snapshot(self._worker_snapshot("w0", 2),
+                              prefix="w0")
+        assert parent.events_dropped == 4

@@ -38,6 +38,7 @@ TYPE_KEYS = {
     "C": {"name", "delta", "value"},
     "I": {"name", "fields"},
     "P": {"source", "fields"},
+    "Q": {"fields"},
 }
 
 

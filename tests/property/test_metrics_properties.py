@@ -1,0 +1,115 @@
+"""Property tests: histogram merge is associative and lossless.
+
+The acceptance bar for the metrics layer is that a distribution split
+across workers and folded back — in *any* partition, in *any* merge
+order — is indistinguishable from one recorded by a single process.
+Hypothesis drives random value sets, random partitions and random
+merge orders against the single-recorder oracle.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics as M
+
+SETTINGS = settings(max_examples=80, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+#: Observation values spanning ~9 decades, zero/negative included
+#: (they route to the dedicated zero bucket).
+values_st = st.lists(
+    st.one_of(
+        st.floats(min_value=1e-6, max_value=1e3,
+                  allow_nan=False, allow_infinity=False),
+        st.just(0.0),
+        st.floats(min_value=-5.0, max_value=-1e-3,
+                  allow_nan=False, allow_infinity=False),
+    ),
+    min_size=1, max_size=120)
+
+
+def _single(values):
+    hist = M.Histogram()
+    for v in values:
+        hist.observe(v)
+    return hist
+
+
+def _state(hist):
+    """The merge-exact state quantiles are computed from."""
+    return (hist.buckets, hist.zero, hist.count, hist.min, hist.max)
+
+
+@st.composite
+def split_plans(draw):
+    """(values, assignment of each value to one of k shards,
+    merge order of the shards)."""
+    values = draw(values_st)
+    k = draw(st.integers(1, 5))
+    assignment = draw(st.lists(st.integers(0, k - 1),
+                               min_size=len(values),
+                               max_size=len(values)))
+    order = draw(st.permutations(list(range(k))))
+    return values, k, assignment, order
+
+
+@given(split_plans())
+@SETTINGS
+def test_any_split_any_merge_order_equals_single_recorder(plan):
+    values, k, assignment, order = plan
+    oracle = _single(values)
+    shards = [M.Histogram() for _ in range(k)]
+    for value, shard in zip(values, assignment):
+        shards[shard].observe(value)
+    merged = M.Histogram()
+    for i in order:
+        merged.merge(shards[i])
+    assert _state(merged) == _state(oracle)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        assert merged.quantile(q) == oracle.quantile(q)
+
+
+@given(values_st, values_st, values_st)
+@SETTINGS
+def test_merge_is_associative(xs, ys, zs):
+    a1, b1, c1 = _single(xs), _single(ys), _single(zs)
+    a2, b2, c2 = _single(xs), _single(ys), _single(zs)
+    # (a <- b) <- c
+    a1.merge(b1)
+    a1.merge(c1)
+    # a <- (b <- c)
+    b2.merge(c2)
+    a2.merge(b2)
+    assert _state(a1) == _state(a2)
+    assert a1.quantile(0.9) == a2.quantile(0.9)
+
+
+@given(values_st)
+@SETTINGS
+def test_snapshot_round_trip_preserves_merge_state(values):
+    import json
+    hist = _single(values)
+    back = M.Histogram.from_snapshot(
+        json.loads(json.dumps(hist.to_snapshot())))
+    assert _state(back) == _state(hist)
+    assert back.quantile(0.5) == hist.quantile(0.5)
+
+
+@given(values_st, values_st)
+@SETTINGS
+def test_merge_through_store_snapshots_is_lossless(xs, ys):
+    # The actual worker path: shard -> snapshot (JSON) -> merge.
+    import json
+    oracle = _single(xs + ys)
+    parent = M.MetricsStore()
+    for v in xs:
+        parent.histogram("lat").observe(v)
+    worker = M.MetricsStore()
+    for v in ys:
+        worker.histogram("lat").observe(v)
+    parent.merge(json.loads(json.dumps(worker.snapshot())),
+                 source="w0")
+    merged = parent.histogram("lat")
+    assert _state(merged) == _state(oracle)
+    for q in (0.5, 0.9, 0.99):
+        assert merged.quantile(q) == oracle.quantile(q)

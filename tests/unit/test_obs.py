@@ -104,6 +104,37 @@ class TestSerialization:
     def test_empty_markdown(self):
         assert "(empty)" in obs.Registry("e").to_markdown()
 
+    def test_snapshot_key_order_is_insertion_independent(self):
+        # Deterministic artifacts: two registries holding the same
+        # data, recorded in different orders, serialize identically.
+        a = obs.Registry("same")
+        for name in ("zz", "aa", "mm"):
+            with a.span(name):
+                pass
+            a.counter(f"c.{name}", 1)
+        b = obs.Registry("same")
+        for name in ("mm", "zz", "aa"):
+            with b.span(name):
+                pass
+            b.counter(f"c.{name}", 1)
+        sa, sb = a.snapshot(), b.snapshot()
+        assert list(sa["timers"]) == list(sb["timers"]) \
+            == ["aa", "mm", "zz"]
+        assert list(sa["counters"]) == list(sb["counters"])
+        assert [line for line in a.to_markdown().splitlines()
+                if line.startswith("| `")] \
+            == [line for line in b.to_markdown().splitlines()
+                if line.startswith("| `")]
+
+    def test_snapshot_sorts_metrics_sections(self):
+        from repro.obs import metrics as M
+        reg = obs.Registry("m")
+        store = M.metrics_store(reg)
+        for name in ("z.h", "a.h"):
+            store.histogram(name).observe(1.0)
+        snap = reg.snapshot()
+        assert list(snap["metrics"]["histograms"]) == ["a.h", "z.h"]
+
 
 class TestScoping:
     def test_scoped_registry_isolates_measurements(self):

@@ -224,6 +224,96 @@ class TestProgress:
         reporter("bmc", {"frame": 2})
         assert len(stream.getvalue().splitlines()) == 2
 
+    def test_reporter_emits_each_line_in_one_write(self):
+        # The jobs>1 interleaving fix: a progress line must reach the
+        # stream as a single atomic write() (prefix, fields and the
+        # newline together), never as print()'s text+terminator pair
+        # that can shear mid-line across concurrent writers.
+        writes = []
+
+        class Spy:
+            def write(self, text):
+                writes.append(text)
+
+            def flush(self):
+                pass
+
+        reporter = trace.ProgressReporter(stream=Spy(), interval=0)
+        reporter("bmc", {"frame": 1, "of": 10})
+        reporter("sweep", {"round": 2})
+        assert writes == ["[bmc] frame=1 of=10\n", "[sweep] round=2\n"]
+
+    def test_reporter_threads_never_interleave(self):
+        import threading
+
+        writes = []
+
+        class Spy:
+            def write(self, text):
+                writes.append(text)
+
+            def flush(self):
+                pass
+
+        reporter = trace.ProgressReporter(stream=Spy(), interval=0)
+
+        def hammer(source):
+            for i in range(50):
+                reporter(source, {"i": i})
+
+        threads = [threading.Thread(target=hammer, args=(f"s{n}",))
+                   for n in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(writes) == 200
+        # Every write is one complete, well-formed line.
+        for text in writes:
+            assert text.endswith("\n")
+            assert text.count("\n") == 1
+            assert text.startswith("[s")
+
+    def test_reporter_throttle_check_is_atomic(self):
+        # Concurrent first reports from one source under a long
+        # interval: the lock makes check-and-update atomic, so
+        # exactly one line wins.
+        import threading
+
+        writes = []
+
+        class Spy:
+            def write(self, text):
+                writes.append(text)
+
+            def flush(self):
+                pass
+
+        reporter = trace.ProgressReporter(stream=Spy(), interval=60)
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            reporter("bmc", {"frame": 0})
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(writes) == 1
+
+    def test_reporter_tolerates_closed_stream(self):
+        class Closed:
+            def write(self, text):
+                raise ValueError("I/O operation on closed file")
+
+            def flush(self):  # pragma: no cover - never reached
+                pass
+
+        reporter = trace.ProgressReporter(stream=Closed(), interval=0)
+        reporter("bmc", {"frame": 1})  # must not raise
+
 
 class TestEnvActivation:
     def test_trace_from_env_installs_and_publishes_id(
